@@ -1,0 +1,80 @@
+// Ablation: how Δcost (eq. 6) depends on the N∥ accounting.
+//
+// The paper evaluates N∥ at the single point l = E_J (§6.2). But the load
+// an administrator bills is E[job-seconds] = E[N∥(J)·J], and since
+// N∥(l)·l is convex in l, the point estimate is biased low (Jensen). This
+// bench quantifies the bias across the ratio sweep of Table 3/4 and
+// re-runs the Δcost minimization under the exact fleet accounting, with
+// Monte Carlo as the referee.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cost.hpp"
+#include "mc/mc_engine.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header(
+      "ablation_cost_accounting",
+      "Δcost (eq. 6 / Tables 4-5) under point vs fleet N∥ accounting",
+      "2006-IX; MC = 200k replications referee");
+
+  const auto m = bench::load_model("2006-IX");
+  const core::CostModel cost(m);
+  const auto& delayed = cost.delayed();
+
+  report::Table table({"t_inf/t0", "t0 (s)", "t_inf (s)", "E_J (s)",
+                       "N// point", "N// fleet", "N// MC", "dcost point",
+                       "dcost fleet"});
+  for (const double ratio :
+       {1.1, 1.2, 1.25, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0}) {
+    const auto opt = delayed.optimize_with_ratio(ratio);
+    const auto eval = cost.evaluate_delayed(opt.t0, opt.t_inf);
+    mc::McOptions mo;
+    mo.replications = 200000;
+    const auto mc = mc::simulate_delayed(m, opt.t0, opt.t_inf, mo);
+    table.row()
+        .cell(ratio, 2)
+        .cell(opt.t0, 0)
+        .cell(opt.t_inf, 0)
+        .cell(eval.expectation, 1)
+        .cell(eval.n_parallel, 3)
+        .cell(eval.n_parallel_fleet, 3)
+        .cell(mc.aggregate_parallel, 3)
+        .cell(eval.delta_cost, 3)
+        .cell(eval.delta_cost_fleet, 3);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n-- Δcost minima under each accounting\n";
+  report::Table optima({"accounting", "t0 (s)", "t_inf (s)", "E_J (s)",
+                        "dcost point", "dcost fleet"});
+  const auto pt = cost.optimize_delayed_cost();
+  optima.row()
+      .cell("paper point (N// at E_J)")
+      .cell(pt.t0, 0)
+      .cell(pt.t_inf, 0)
+      .cell(pt.expectation, 1)
+      .cell(pt.delta_cost, 3)
+      .cell(pt.delta_cost_fleet, 3);
+  const auto fl = cost.optimize_delayed_cost(
+      -1.0, -1.0, core::CostDefinition::kFleet);
+  optima.row()
+      .cell("fleet (E[job-seconds]/E_J)")
+      .cell(fl.t0, 0)
+      .cell(fl.t_inf, 0)
+      .cell(fl.expectation, 1)
+      .cell(fl.delta_cost, 3)
+      .cell(fl.delta_cost_fleet, 3);
+  optima.print(std::cout);
+
+  std::cout
+      << "\nfinding: the fleet N∥ tracks the MC referee while the paper's "
+         "point N∥ sits below both; Δcost < 1 configurations under the "
+         "paper's accounting can bill > 1 in job-seconds. The fleet-optimal "
+         "configuration trades a slightly higher E_J for honest savings "
+         "(or reveals none exist on that week). See EXPERIMENTS.md.\n";
+  return 0;
+}

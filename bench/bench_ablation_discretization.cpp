@@ -1,0 +1,66 @@
+// Ablation: the evaluation grid step is *the* numerical knob of the whole
+// pipeline (every E_J is an integral functional of a discretized F̃).
+// Sweep the step and report the induced error in the single/multiple/
+// delayed optima plus model-construction and optimization wall time.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cost.hpp"
+#include "core/delayed_resubmission.hpp"
+#include "core/multiple_submission.hpp"
+#include "report/table.hpp"
+#include "traces/datasets.hpp"
+
+namespace {
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main() {
+  using namespace gridsub;
+  bench::print_header("ablation_discretization",
+                      "grid-step sensitivity of all strategy optima",
+                      "reference = 0.5 s grid");
+
+  const auto trace = traces::make_trace_by_name("2006-IX");
+
+  struct Ref {
+    double ej1, ejb5, ejd;
+  } ref{};
+  report::Table table({"step(s)", "E_J single", "E_J multi(b=5)",
+                       "E_J delayed", "err vs ref", "build+opt ms"});
+  for (double step : {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0}) {
+    const auto t_start = std::chrono::steady_clock::now();
+    const auto m = model::DiscretizedLatencyModel::from_trace(trace, step);
+    const double e1 =
+        core::SingleResubmission(m).optimize().metrics.expectation;
+    const double e5 =
+        core::MultipleSubmission(m, 5).optimize().metrics.expectation;
+    const double ed =
+        core::DelayedResubmission(m).optimize().metrics.expectation;
+    const double elapsed = ms_since(t_start);
+    if (step == 0.5) ref = {e1, e5, ed};
+    const double err = std::max({std::abs(e1 - ref.ej1) / ref.ej1,
+                                 std::abs(e5 - ref.ejb5) / ref.ejb5,
+                                 std::abs(ed - ref.ejd) / ref.ejd});
+    table.row()
+        .cell(step, 1)
+        .cell(e1, 1)
+        .cell(e5, 1)
+        .cell(ed, 1)
+        .percent(err, 2)
+        .cell(elapsed, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\ntakeaway: 1-2 s steps are indistinguishable from the "
+               "0.5 s reference at a fraction of the cost; >= 25 s steps "
+               "visibly bias the optima.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Related-work baselines (paper §2): Subramani et al.'s K-distributed and
+// K-Dual-queue schemes and Casanova's random redundant requests, executed
+// on the DES grid and compared with the paper's WMS-mediated multiple
+// submission at the same redundancy level.
+//
+// Expected shape (Subramani HPDC'02): mean slowdown decreases with K for
+// 1..4; K-distributed beats K-dual on average (duplicates in priority
+// queues start sooner), while K-dual is gentler to local traffic. Casanova
+// (random placement) trails the load-aware schemes.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "sched/redundant_client.hpp"
+#include "sim/grid.hpp"
+#include "sim/strategy_client.hpp"
+
+namespace {
+
+struct RunResult {
+  double mean_slowdown = 0.0;
+  double mean_latency = 0.0;
+  double mean_submissions = 0.0;
+  std::size_t completed = 0;
+};
+
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kTasksPerClient = 20;
+constexpr double kTaskRuntime = 600.0;
+constexpr double kHorizon = 1.5e7;
+
+gridsub::sim::GridConfig bench_grid() {
+  auto config = gridsub::sim::GridConfig::egee_like();
+  // Near-critical utilization (~98% of the 896 slots): queues are rarely
+  // empty, as in Subramani's supercomputer-centre setting, so placement
+  // quality matters.
+  config.background.arrival_rate = 0.40;
+  // Background lands load-aware but noisily, as on the real federation:
+  // sites drift apart in queue depth, which is the uncertainty the
+  // K-redundant schemes hedge.
+  config.wms.dispatch = gridsub::sim::WmsConfig::Dispatch::kWeightedRandom;
+  return config;
+}
+
+RunResult run_baseline(gridsub::sched::BaselineScheme scheme, int k) {
+  using namespace gridsub;
+  sim::GridSimulation grid(bench_grid());
+  grid.warm_up(30000.0);
+  std::vector<std::unique_ptr<sched::RedundantClient>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    sched::BaselineSpec spec;
+    spec.scheme = scheme;
+    spec.k = k;
+    spec.home_site = c % grid.elements().size();
+    clients.push_back(std::make_unique<sched::RedundantClient>(
+        grid, spec, kTasksPerClient, kTaskRuntime));
+  }
+  for (auto& c : clients) c->start();
+  grid.simulator().run_until(grid.simulator().now() + kHorizon);
+
+  RunResult r;
+  for (const auto& c : clients) {
+    const auto n = static_cast<double>(c->outcomes().size());
+    r.mean_slowdown += c->mean_slowdown() * n;
+    r.mean_latency += c->mean_latency() * n;
+    r.mean_submissions += c->mean_submissions() * n;
+    r.completed += c->outcomes().size();
+  }
+  const auto total = static_cast<double>(r.completed);
+  r.mean_slowdown /= total;
+  r.mean_latency /= total;
+  r.mean_submissions /= total;
+  return r;
+}
+
+RunResult run_wms_multiple(int b) {
+  using namespace gridsub;
+  sim::GridSimulation grid(bench_grid());
+  grid.warm_up(30000.0);
+  std::vector<std::unique_ptr<sim::StrategyClient>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    sim::StrategySpec spec;
+    spec.kind = b == 1 ? core::StrategyKind::kSingleResubmission
+                       : core::StrategyKind::kMultipleSubmission;
+    spec.b = b;
+    spec.t_inf = 1500.0;
+    clients.push_back(std::make_unique<sim::StrategyClient>(
+        grid, spec, kTasksPerClient, kTaskRuntime));
+  }
+  for (auto& c : clients) c->start();
+  grid.simulator().run_until(grid.simulator().now() + kHorizon);
+
+  RunResult r;
+  for (const auto& c : clients) {
+    const auto n = static_cast<double>(c->outcomes().size());
+    r.mean_latency += c->mean_latency() * n;
+    r.mean_submissions += c->mean_submissions() * n;
+    // StrategyClient reports latency; slowdown uses the shared runtime.
+    r.mean_slowdown +=
+        n * (c->mean_latency() + kTaskRuntime) / kTaskRuntime;
+    r.completed += c->outcomes().size();
+  }
+  const auto total = static_cast<double>(r.completed);
+  r.mean_slowdown /= total;
+  r.mean_latency /= total;
+  r.mean_submissions /= total;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gridsub;
+  bench::print_header(
+      "baseline_subramani",
+      "related work §2: K-distributed / K-dual (Subramani), K-random "
+      "(Casanova) vs the paper's multiple submission",
+      "DES grid, 6 clients x 20 tasks, 600 s tasks, slowdown = "
+      "(latency+runtime)/runtime");
+
+  report::Table table({"scheme", "K", "mean slowdown", "mean J (s)",
+                       "subs/task", "tasks done"});
+  for (const int k : {1, 2, 3, 4}) {
+    const auto kd = run_baseline(sched::BaselineScheme::kKDistributed, k);
+    table.row()
+        .cell(std::string(sched::to_string(
+            sched::BaselineScheme::kKDistributed)))
+        .cell(static_cast<long long>(k))
+        .cell(kd.mean_slowdown, 3)
+        .cell(kd.mean_latency, 1)
+        .cell(kd.mean_submissions, 2)
+        .cell(static_cast<long long>(kd.completed));
+  }
+  for (const int k : {2, 3, 4}) {
+    const auto dual = run_baseline(sched::BaselineScheme::kKDualQueue, k);
+    table.row()
+        .cell(std::string(sched::to_string(
+            sched::BaselineScheme::kKDualQueue)))
+        .cell(static_cast<long long>(k))
+        .cell(dual.mean_slowdown, 3)
+        .cell(dual.mean_latency, 1)
+        .cell(dual.mean_submissions, 2)
+        .cell(static_cast<long long>(dual.completed));
+  }
+  for (const int k : {2, 4}) {
+    const auto rnd = run_baseline(sched::BaselineScheme::kKRandom, k);
+    table.row()
+        .cell(std::string(sched::to_string(sched::BaselineScheme::kKRandom)))
+        .cell(static_cast<long long>(k))
+        .cell(rnd.mean_slowdown, 3)
+        .cell(rnd.mean_latency, 1)
+        .cell(rnd.mean_submissions, 2)
+        .cell(static_cast<long long>(rnd.completed));
+  }
+  for (const int b : {1, 2, 4}) {
+    const auto wms = run_wms_multiple(b);
+    table.row()
+        .cell("WMS multiple-submission")
+        .cell(static_cast<long long>(b))
+        .cell(wms.mean_slowdown, 3)
+        .cell(wms.mean_latency, 1)
+        .cell(wms.mean_submissions, 2)
+        .cell(static_cast<long long>(wms.completed));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: slowdown falls with K (Subramani fig. "
+               "shapes); load-aware placement (K-distributed) beats random "
+               "placement (Casanova); direct site submission avoids the "
+               "WMS matchmaking latency floor visible in the last rows.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Future-work experiment (paper §8): "the impact of all grid users
+// exploiting the same strategy can be simulated in a controlled
+// environment". Many concurrent clients all adopt multiple submission with
+// the same b on the DES grid; we measure how the latency they experience
+// and the broker load inflate as b grows — the administrators' concern
+// quantified.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "sim/grid.hpp"
+#include "sim/strategy_client.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header("des_feedback",
+                      "paper §8 future work: everyone adopts the strategy",
+                      "DES grid, 24 concurrent clients, 40 tasks each");
+
+  constexpr int kClients = 24;
+  constexpr std::size_t kTasksPerClient = 40;
+
+  report::Table table({"b", "mean J (s)", "mean subs/task",
+                       "jobs submitted", "jobs canceled", "cancel frac",
+                       "mean queue wait (s)"});
+  for (int b : {1, 2, 3, 5, 8}) {
+    sim::GridConfig config = sim::GridConfig::egee_like();
+    config.background.arrival_rate = 0.35;
+    sim::GridSimulation grid(config);
+    grid.warm_up(30000.0);
+
+    std::vector<std::unique_ptr<sim::StrategyClient>> clients;
+    for (int c = 0; c < kClients; ++c) {
+      sim::StrategySpec spec;
+      spec.kind = b == 1 ? core::StrategyKind::kSingleResubmission
+                         : core::StrategyKind::kMultipleSubmission;
+      spec.b = b;
+      spec.t_inf = 1500.0;
+      clients.push_back(std::make_unique<sim::StrategyClient>(
+          grid, spec, kTasksPerClient));
+    }
+    const auto before = grid.metrics();
+    for (auto& c : clients) c->start();
+    grid.simulator().run_until(grid.simulator().now() + 5e7);
+
+    double mean_j = 0.0, mean_subs = 0.0;
+    std::size_t done = 0;
+    for (const auto& c : clients) {
+      mean_j += c->mean_latency() * static_cast<double>(c->outcomes().size());
+      mean_subs +=
+          c->mean_submissions() * static_cast<double>(c->outcomes().size());
+      done += c->outcomes().size();
+    }
+    mean_j /= static_cast<double>(done);
+    mean_subs /= static_cast<double>(done);
+    const auto& after = grid.metrics();
+    table.row()
+        .cell(static_cast<long long>(b))
+        .cell(mean_j, 1)
+        .cell(mean_subs, 2)
+        .cell(static_cast<long long>(after.jobs_submitted -
+                                     before.jobs_submitted))
+        .cell(static_cast<long long>(after.jobs_canceled -
+                                     before.jobs_canceled))
+        .cell(after.cancel_fraction(), 3)
+        .cell(after.mean_queue_wait(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\ntakeaway: individual gains persist at moderate b, but "
+               "broker traffic (submissions + cancellations) grows ~b "
+               "and queue waits creep upward — collective adoption erodes "
+               "the benefit, matching Casanova's bottleneck observation "
+               "cited by the paper.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Extension (paper §8 future work): strategy impact on grid-application
+// *makespan*. A bag of n independent tasks finishes with the slowest task,
+// so the strategy's tail — not its mean — governs large applications. We
+// sweep the bag size for the three strategies at their per-job latency
+// optima on 2006-IX and report E[makespan], tail quantiles and billed
+// job-seconds.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cost.hpp"
+#include "core/delayed_resubmission.hpp"
+#include "core/multiple_submission.hpp"
+#include "core/single_resubmission.hpp"
+#include "core/total_latency.hpp"
+#include "report/table.hpp"
+#include "workflow/makespan.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header(
+      "ext_makespan",
+      "extension of §8 (future work): application makespan under each "
+      "strategy",
+      "bag of n tasks, 30 min runtime each, strategies at their 2006-IX "
+      "E_J-optimal parameters");
+
+  const auto m = bench::load_model("2006-IX");
+  const double runtime = 1800.0;
+
+  const auto single_opt = core::SingleResubmission(m).optimize();
+  const auto multi3_opt = core::MultipleSubmission(m, 3).optimize();
+  const auto multi5_opt = core::MultipleSubmission(m, 5).optimize();
+  const auto delayed_opt = core::DelayedResubmission(m).optimize();
+
+  struct Entry {
+    const char* label;
+    workflow::MakespanModel model;
+  };
+  const Entry entries[] = {
+      {"single-resubmission",
+       workflow::MakespanModel(
+           core::TotalLatencyDistribution::single(m, single_opt.t_inf))},
+      {"multiple b=3",
+       workflow::MakespanModel(
+           core::TotalLatencyDistribution::multiple(m, 3,
+                                                    multi3_opt.t_inf))},
+      {"multiple b=5",
+       workflow::MakespanModel(
+           core::TotalLatencyDistribution::multiple(m, 5,
+                                                    multi5_opt.t_inf))},
+      {"delayed-resubmission",
+       workflow::MakespanModel(core::TotalLatencyDistribution::delayed(
+           m, delayed_opt.t0, delayed_opt.t_inf))},
+  };
+
+  for (const std::size_t n : {1u, 10u, 100u, 1000u}) {
+    std::cout << "-- bag of " << n << " tasks (runtime " << runtime
+              << " s)\n";
+    report::Table table({"strategy", "E[makespan] (s)", "median (s)",
+                         "p95 (s)", "p99 (s)", "latency share",
+                         "job-seconds/task"});
+    for (const auto& e : entries) {
+      const auto est = e.model.estimate({n, runtime});
+      table.row()
+          .cell(e.label)
+          .cell(est.expectation, 0)
+          .cell(est.median, 0)
+          .cell(est.p95, 0)
+          .cell(est.p99, 0)
+          .percent((est.expectation - runtime) / est.expectation)
+          .cell(est.job_seconds / static_cast<double>(n), 0);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "-- chain workflow: registration(1) -> analysis(200) -> "
+               "statistics(4), runtimes 300/1800/120 s\n";
+  const workflow::WorkflowChain chain{{1, 300.0}, {200, 1800.0}, {4, 120.0}};
+  report::Table chain_table(
+      {"strategy", "E[chain makespan] (s)", "vs compute floor"});
+  for (const auto& e : entries) {
+    const double total = e.model.expected_chain_makespan(chain);
+    chain_table.row()
+        .cell(e.label)
+        .cell(total, 0)
+        .percent(total / workflow::compute_floor(chain) - 1.0);
+  }
+  chain_table.print(std::cout);
+  std::cout
+      << "\nexpected shape: at n = 1 the strategies rank by E_J (paper "
+         "Tables 2/3); as n grows the latency share of the makespan rises "
+         "and multiple submission's tail-taming widens its lead — the "
+         "application-level argument for redundancy the paper motivates "
+         "in its introduction.\n";
+  return 0;
+}

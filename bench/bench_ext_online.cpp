@@ -1,0 +1,99 @@
+// Extension of Table 6: the week-ahead transfer as a *sequential* process.
+//
+// The paper evaluates parameters tuned on week w-1 against week w for one
+// pair of weeks at a time. Here an online planner replays the 2007-2008
+// weeks in order, carrying its sliding window across week boundaries, and
+// at the end of each week we score its current delayed-resubmission
+// parameters against that week's oracle (a posteriori optimum) — the
+// regret a real client would have paid. The drift statistic is reported
+// at each boundary.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "online/online_planner.hpp"
+#include "report/table.hpp"
+#include "traces/datasets.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header(
+      "ext_online",
+      "extension of Table 6: sequential week-ahead transfer (online "
+      "planner regret)",
+      "window 600 probes, refit every 50, min-cost objective");
+
+  const std::vector<std::string> weeks = {
+      "2007-36", "2007-37", "2007-38", "2007-39", "2007-50", "2007-51",
+      "2007-52", "2007-53", "2008-01", "2008-02", "2008-03"};
+
+  online::OnlinePlannerConfig oc;
+  oc.window = 600;
+  oc.min_observations = 150;
+  oc.refit_interval = 50;
+  oc.planner.objective = core::PlannerOptions::Objective::kMinCost;
+  online::OnlinePlanner planner(oc);
+
+  report::Table table({"week", "drift KS", "carried (t0,t_inf)",
+                       "carried dcost", "oracle dcost", "regret"});
+
+  for (std::size_t w = 0; w < weeks.size(); ++w) {
+    // Score the parameters carried from previous weeks on THIS week's
+    // model, before the planner sees any of this week's data.
+    const auto oracle_model = bench::load_model(weeks[w], 2.0);
+    const core::StrategyPlanner oracle(oracle_model);
+    const auto oracle_rec = oracle.recommend(oc.planner);
+
+    std::string carried = "(cold start)";
+    double carried_cost = std::numeric_limits<double>::quiet_NaN();
+    if (planner.ready()) {
+      const auto& rec = planner.current();
+      if (rec.choice.kind == core::StrategyKind::kDelayedResubmission) {
+        carried_cost =
+            oracle.evaluate_delayed_params(rec.choice.t0, rec.choice.t_inf)
+                .delta_cost;
+        carried = "(" + std::to_string(static_cast<int>(rec.choice.t0)) +
+                  ", " + std::to_string(static_cast<int>(rec.choice.t_inf)) +
+                  ")";
+      } else {
+        // Single resubmission carried over: dcost 1 by definition.
+        carried_cost = 1.0;
+        carried = "single";
+      }
+    }
+
+    const double drift_before = planner.drift_statistic();
+
+    // Now replay this week into the planner.
+    const auto trace = traces::make_trace_by_name(weeks[w]);
+    for (const auto& r : trace.records()) {
+      if (r.status == traces::ProbeStatus::kCompleted) {
+        planner.observe_completed(r.latency);
+      } else {
+        planner.observe_outlier();
+      }
+    }
+
+    auto& row = table.row().cell(weeks[w]).cell(drift_before, 3).cell(
+        carried);
+    if (std::isnan(carried_cost)) {
+      row.cell("-").cell(oracle_rec.choice.delta_cost, 3).cell("-");
+    } else {
+      row.cell(carried_cost, 3)
+          .cell(oracle_rec.choice.delta_cost, 3)
+          .percent(carried_cost / oracle_rec.choice.delta_cost - 1.0);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected shape (paper §7.2): regret of carrying last week's "
+         "parameters stays within a few percent of each week's oracle — "
+         "the estimation is practical; drift spikes flag the weeks where "
+         "refitting mattered most.\n";
+  return 0;
+}

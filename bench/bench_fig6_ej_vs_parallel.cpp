@@ -1,0 +1,47 @@
+// Figure 6: minimal expected execution time vs mean number of parallel
+// job copies — delayed resubmission (ratio sweep) vs multiple submission
+// (b sweep), on 2006-IX.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/delayed_resubmission.hpp"
+#include "core/multiple_submission.hpp"
+#include "report/series.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header("fig6_ej_vs_parallel",
+                      "Figure 6 (min E_J vs mean parallel jobs)");
+
+  const auto m = bench::load_model("2006-IX");
+
+  // Delayed strategy: sweep the imposed ratio; x = N∥ at the optimum.
+  const core::DelayedResubmission delayed(m);
+  std::vector<double> dx, dy;
+  for (double ratio = 1.05; ratio <= 2.001; ratio += 0.05) {
+    const auto opt = delayed.optimize_with_ratio(ratio);
+    dx.push_back(opt.n_parallel);
+    dy.push_back(opt.metrics.expectation);
+  }
+
+  // Multiple submission: N∥ = b.
+  std::vector<double> mx, my;
+  for (int b = 1; b <= 5; ++b) {
+    const auto opt = core::MultipleSubmission(m, b).optimize();
+    mx.push_back(static_cast<double>(b));
+    my.push_back(opt.metrics.expectation);
+  }
+
+  report::Figure fig("Figure 6: minimal E_J vs mean parallel copies",
+                     "nb. of jobs in parallel", "min E_J (s)");
+  fig.add("delayed submission strategy", std::move(dx), std::move(dy));
+  fig.add("multiple submissions strategy", std::move(mx), std::move(my));
+  fig.print(std::cout);
+  std::cout << "\npaper shape check: the delayed curve lives in "
+               "N_par in [1, ~1.6] and undercuts single resubmission; "
+               "multiple submission reaches lower E_J but only at integer "
+               "N_par >= 2.\n";
+  return 0;
+}

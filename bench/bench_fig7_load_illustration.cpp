@@ -1,0 +1,50 @@
+// Figure 7: the load-accounting illustration behind the cost criterion —
+// a multiple-submission strategy that speeds a job up enough can *reduce*
+// total infrastructure load. The paper draws the schematic; here we compute
+// the actual job-seconds on 2006-IX for b = 1 vs b = 2..5 and report the
+// time-gain factor vs the duplication factor.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/multiple_submission.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header(
+      "fig7_load_illustration",
+      "Figure 7 (when duplication reduces total load)",
+      "the schematic is realized as measured job-seconds per task");
+
+  const auto m = bench::load_model("2006-IX");
+  const auto base = core::MultipleSubmission(m, 1).optimize();
+  const double base_load = base.metrics.expectation;  // 1 copy * E_J
+
+  report::Table table({"b", "E_J", "gain factor", "job-seconds/task",
+                       "load vs b=1"});
+  table.row()
+      .cell(1LL)
+      .cell(report::seconds(base.metrics.expectation))
+      .cell(1.0, 2)
+      .cell(base_load, 0)
+      .percent(0.0, 1);
+  for (int b = 2; b <= 5; ++b) {
+    const auto opt = core::MultipleSubmission(m, b).optimize();
+    // All b copies occupy the system until the first start: N∥ = b.
+    const double load = b * opt.metrics.expectation;
+    table.row()
+        .cell(static_cast<long long>(b))
+        .cell(report::seconds(opt.metrics.expectation))
+        .cell(base.metrics.expectation / opt.metrics.expectation, 2)
+        .cell(load, 0)
+        .percent((load - base_load) / base_load, 1);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\npaper shape check: duplication reduces total load only when "
+         "the time-gain factor exceeds b (the paper's T/4 vs T/2 sketch); "
+         "with realistic latency tails the gain factor stays below b, which "
+         "is exactly why the paper introduces the delayed strategy.\n";
+  return 0;
+}

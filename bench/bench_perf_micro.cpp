@@ -1,0 +1,129 @@
+// Microbenchmarks of the library primitives (google-benchmark): model
+// construction, E_J evaluation, optimizers, Monte Carlo throughput, DES
+// event rate. These quantify the costs the ablation benches trade off.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/cost.hpp"
+#include "core/delayed_resubmission.hpp"
+#include "core/multiple_submission.hpp"
+#include "core/single_resubmission.hpp"
+#include "mc/mc_engine.hpp"
+#include "model/discretized.hpp"
+#include "sim/grid.hpp"
+#include "traces/datasets.hpp"
+
+namespace {
+
+using namespace gridsub;
+
+const traces::Trace& trace_2006() {
+  static const traces::Trace t = traces::make_trace_by_name("2006-IX");
+  return t;
+}
+
+const model::DiscretizedLatencyModel& model_2006() {
+  static const auto m =
+      model::DiscretizedLatencyModel::from_trace(trace_2006(), 1.0);
+  return m;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto& config = traces::dataset_by_name("2007-52");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traces::make_trace(config));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_ModelBuild(benchmark::State& state) {
+  const double step = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::DiscretizedLatencyModel::from_trace(trace_2006(), step));
+  }
+}
+BENCHMARK(BM_ModelBuild)->Arg(1)->Arg(5)->Arg(25);
+
+void BM_SingleExpectation(benchmark::State& state) {
+  const auto& m = model_2006();
+  const core::SingleResubmission s(m);
+  double t = 300.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.expectation(t));
+    t = (t < 2000.0) ? t + 1.0 : 300.0;
+  }
+}
+BENCHMARK(BM_SingleExpectation);
+
+void BM_MultipleOptimize(benchmark::State& state) {
+  const auto& m = model_2006();
+  const int b = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::MultipleSubmission multi(m, b);
+    benchmark::DoNotOptimize(multi.optimize());
+  }
+}
+BENCHMARK(BM_MultipleOptimize)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_DelayedExpectation(benchmark::State& state) {
+  const auto& m = model_2006();
+  const core::DelayedResubmission d(m);
+  double t0 = 200.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.expectation(t0, 1.6 * t0));
+    t0 = (t0 < 800.0) ? t0 + 1.0 : 200.0;
+  }
+}
+BENCHMARK(BM_DelayedExpectation);
+
+void BM_DelayedOptimize(benchmark::State& state) {
+  const auto& m = model_2006();
+  const core::DelayedResubmission d(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.optimize());
+  }
+}
+BENCHMARK(BM_DelayedOptimize);
+
+void BM_CostOptimum(benchmark::State& state) {
+  const auto& m = model_2006();
+  for (auto _ : state) {
+    core::CostModel cost(m);
+    benchmark::DoNotOptimize(cost.optimize_delayed_cost());
+  }
+}
+BENCHMARK(BM_CostOptimum)->Unit(benchmark::kMillisecond);
+
+void BM_McDelayed(benchmark::State& state) {
+  const auto& m = model_2006();
+  mc::McOptions options;
+  options.replications = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::simulate_delayed(m, 300.0, 500.0, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_McDelayed)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DesEventRate(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::GridConfig config = sim::GridConfig::egee_like();
+    config.background.arrival_rate = 0.5;
+    sim::GridSimulation grid(config);
+    grid.warm_up(50000.0);
+    benchmark::DoNotOptimize(grid.simulator().processed_events());
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(grid.simulator().processed_events()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_DesEventRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 2: optimal timeout, best E_J and sigma_J for b = 1..20 on
+// 2006-IX, with improvements relative to b = 1 and to b - 1.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/multiple_submission.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header("table2_multi_optimal",
+                      "Table 2 (optimal multi-submission per b)");
+
+  const auto m = bench::load_model("2006-IX");
+  report::Table table({"b", "opt t_inf", "best E_J", "sigma_J",
+                       "dE_J/(b=1)", "db/(b=1)", "dE_J/(b-1)", "db/(b-1)"});
+  std::vector<core::TimeoutOptimum> optima;
+  for (int b = 1; b <= 20; ++b) {
+    optima.push_back(core::MultipleSubmission(m, b).optimize());
+  }
+  const double e1 = optima.front().metrics.expectation;
+  for (int b = 1; b <= 20; ++b) {
+    const auto& opt = optima[b - 1];
+    auto& row = table.row()
+                    .cell(static_cast<long long>(b))
+                    .cell(report::seconds(opt.t_inf))
+                    .cell(report::seconds(opt.metrics.expectation))
+                    .cell(report::seconds(opt.metrics.std_deviation));
+    if (b == 1) {
+      row.cell(std::string("-")).cell(std::string("-"))
+          .cell(std::string("-")).cell(std::string("-"));
+    } else {
+      const double prev = optima[b - 2].metrics.expectation;
+      row.percent((opt.metrics.expectation - e1) / e1, 0)
+          .percent(static_cast<double>(b - 1), 0)
+          .percent((opt.metrics.expectation - prev) / prev, 1)
+          .percent(1.0 / static_cast<double>(b - 1), 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape check: E_J drops steeply for small b "
+               "(roughly -30%+ at b=2, about half by b=5) and saturates; "
+               "sigma_J shrinks monotonically.\n";
+  return 0;
+}

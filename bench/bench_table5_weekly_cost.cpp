@@ -1,0 +1,66 @@
+// Table 5: per-week minimal Δcost with the optimizing (t0, t∞) and E_J,
+// plus the ±5 s stability analysis for weeks whose minimum is below 1.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/cost.hpp"
+#include "parallel/parallel_for.hpp"
+#include "report/table.hpp"
+#include "traces/datasets.hpp"
+
+int main() {
+  using namespace gridsub;
+  bench::print_header("table5_weekly_cost",
+                      "Table 5 (per-week delta-cost optima + stability)");
+
+  std::vector<std::string> names;
+  for (const auto& c : traces::all_datasets()) {
+    if (c.name != "2006-IX") names.push_back(c.name);
+  }
+  names.emplace_back("2007/08");
+
+  struct Row {
+    core::CostEvaluation opt;
+    core::StabilityReport stability;
+  };
+  std::vector<Row> rows(names.size());
+  par::parallel_for(0, static_cast<std::int64_t>(names.size()),
+                    [&](std::int64_t i) {
+                      const auto m = bench::load_model(names[i]);
+                      const core::CostModel cost(m);
+                      rows[i].opt = cost.optimize_delayed_cost();
+                      rows[i].stability =
+                          cost.stability(rows[i].opt.t0, rows[i].opt.t_inf,
+                                         5);
+                    });
+
+  report::Table table({"week", "opt t0", "opt t_inf", "opt d_cost", "E_J",
+                       "max d_cost(+-5s)", "max d%"});
+  int below_one = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.opt.delta_cost < 1.0) ++below_one;
+    auto& row = table.row()
+                    .cell(names[i])
+                    .cell(r.opt.t0, 0)
+                    .cell(r.opt.t_inf, 0)
+                    .cell(r.opt.delta_cost, 3)
+                    .cell(report::seconds(r.opt.expectation));
+    if (r.opt.delta_cost < 1.0) {
+      row.cell(r.stability.max_delta_cost, 2)
+          .percent(r.stability.max_rel_diff, 1);
+    } else {
+      row.cell(std::string("-")).cell(std::string("-"));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n" << below_one << "/" << names.size()
+            << " periods reach delta_cost < 1 (the paper reports 7/12; "
+               "whether a week dips below 1 depends on its tail shape).\n"
+            << "stability: the paper reports max +-5s degradations up to "
+               "14%.\n";
+  return 0;
+}

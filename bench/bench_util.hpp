@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared helpers for the experiment harness: dataset-to-model plumbing and
+// consistent headers so every bench prints a self-describing report.
+
+#include <iostream>
+#include <string>
+
+#include "model/discretized.hpp"
+#include "traces/datasets.hpp"
+
+namespace gridsub::bench {
+
+/// Grid step used by all table/figure benches (1 s, i.e. the integer
+/// resolution the paper uses for practical timeouts).
+inline constexpr double kStep = 1.0;
+
+/// Builds the discretized empirical model of a named dataset.
+inline model::DiscretizedLatencyModel load_model(const std::string& name,
+                                                 double step = kStep) {
+  const auto trace = traces::make_trace_by_name(name);
+  return model::DiscretizedLatencyModel::from_trace(trace, step);
+}
+
+/// Prints the standard bench header.
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_ref,
+                         const std::string& note = "") {
+  std::cout << "== gridsub experiment: " << experiment << " ==\n";
+  std::cout << "reproduces: " << paper_ref
+            << " (Lingrand/Montagnat/Glatard, HPDC'09)\n";
+  std::cout << "data: synthetic EGEE-like traces calibrated to the paper's "
+               "Table 1 (see DESIGN.md)\n";
+  if (!note.empty()) std::cout << "note: " << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace gridsub::bench

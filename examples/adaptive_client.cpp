@@ -1,0 +1,94 @@
+// Adaptive client — the paper's conclusion asks for strategies "integrated
+// in the client side of the middleware to release the users of this
+// burden". This example is that client, end to end, with no real trace in
+// sight: it measures the (simulated) grid with probes, feeds them to the
+// online planner as they complete, watches the drift detector, and finally
+// executes the recommended strategy on the same live grid.
+
+#include <cstdio>
+
+#include "online/online_planner.hpp"
+#include "sim/grid.hpp"
+#include "sim/probe_client.hpp"
+#include "sim/strategy_client.hpp"
+
+int main() {
+  using namespace gridsub;
+
+  // A grid the client knows nothing about.
+  sim::GridConfig config = sim::GridConfig::egee_like();
+  config.background.arrival_rate = 0.3;
+  sim::GridSimulation grid(config);
+  grid.warm_up(30000.0);
+
+  // Phase 1: probe campaign (paper §3.2 methodology, constant in-flight).
+  sim::ProbeCampaignConfig pc;
+  pc.n_probes = 600;
+  pc.concurrent = 10;
+  pc.timeout = 8000.0;
+  sim::ProbeClient probe(grid, pc, "adaptive-campaign");
+  probe.start();
+  grid.simulator().run_until(grid.simulator().now() + 1.5e7);
+  const auto stats = probe.trace().stats();
+  std::printf("probe campaign: %zu probes, mean %.0f s, sd %.0f s, "
+              "outliers %.1f%%\n",
+              stats.total, stats.mean_completed, stats.stddev_completed,
+              100.0 * stats.outlier_ratio);
+
+  // Phase 2: stream the observations into the online planner.
+  online::OnlinePlannerConfig oc;
+  oc.window = 500;
+  oc.min_observations = 150;
+  oc.refit_interval = 50;
+  oc.timeout = pc.timeout;
+  oc.planner.objective = core::PlannerOptions::Objective::kMinCost;
+  online::OnlinePlanner planner(oc);
+  for (const auto& r : probe.trace().records()) {
+    if (r.status == traces::ProbeStatus::kCompleted) {
+      planner.observe_completed(r.latency);
+    } else {
+      planner.observe_outlier();
+    }
+  }
+  if (!planner.ready()) {
+    std::printf("not enough probes to plan — aborting\n");
+    return 1;
+  }
+  const auto& rec = planner.current();
+  std::printf("\nonline planner: %zu refits, drift KS = %.3f (%s)\n",
+              planner.refits(), planner.drift_statistic(),
+              planner.drifted() ? "DRIFTING - distrust parameters"
+                                : "stationary");
+  std::printf("recommendation: %s  (t0 = %.0f s, t_inf = %.0f s, b = %d)\n",
+              std::string(core::to_string(rec.choice.kind)).c_str(),
+              rec.choice.t0, rec.choice.t_inf, rec.choice.b);
+  std::printf("predicted E_J = %.0f s, dcost = %.3f\n", rec.choice.expectation,
+              rec.choice.delta_cost);
+  std::printf("rationale: %s\n", rec.rationale.c_str());
+
+  // Phase 3: run the recommendation on the same grid, live.
+  sim::StrategySpec spec;
+  spec.kind = rec.choice.kind;
+  spec.t_inf = rec.choice.t_inf;
+  spec.t0 = rec.choice.t0;
+  spec.b = rec.choice.b;
+  sim::StrategyClient client(grid, spec, 120);
+  client.start();
+  grid.simulator().run_until(grid.simulator().now() + 3e7);
+  if (!client.done()) {
+    std::printf("\nstrategy client did not finish within the horizon\n");
+    return 1;
+  }
+  std::printf("\nexecuted on the live grid: mean J = %.0f s over %zu tasks "
+              "(%.2f submissions/task)\n",
+              client.mean_latency(), client.outcomes().size(),
+              client.mean_submissions());
+  std::printf("predicted-vs-measured ratio: %.2f\n",
+              client.mean_latency() / rec.choice.expectation);
+  std::printf(
+      "\nreading: the model was estimated from probes on the very "
+      "infrastructure the client then uses, so the prediction lands in the "
+      "right regime; the residual gap is the client's own extra load plus "
+      "non-stationarity — exactly why the planner keeps watching drift.\n");
+  return 0;
+}

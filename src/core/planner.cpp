@@ -1,0 +1,71 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::core {
+
+StrategyPlanner::StrategyPlanner(const model::DiscretizedLatencyModel& m)
+    : model_(m), cost_(m) {}
+
+Recommendation StrategyPlanner::recommend(
+    const PlannerOptions& options) const {
+  if (options.max_b < 1) {
+    throw std::invalid_argument("StrategyPlanner: max_b < 1");
+  }
+  Recommendation rec;
+  rec.candidates.push_back(cost_.evaluate_single());
+  for (int b = 2; b <= options.max_b; ++b) {
+    rec.candidates.push_back(cost_.evaluate_multiple(b));
+  }
+  // Delayed: both the latency-optimal and the cost-optimal configurations.
+  const DelayedOptimum latency_opt = cost_.delayed().optimize();
+  rec.candidates.push_back(
+      cost_.evaluate_delayed(latency_opt.t0, latency_opt.t_inf));
+  rec.candidates.push_back(cost_.optimize_delayed_cost());
+
+  const bool min_latency =
+      options.objective == PlannerOptions::Objective::kMinLatency;
+  const CostEvaluation* best = nullptr;
+  for (const auto& c : rec.candidates) {
+    if (!std::isfinite(c.expectation)) continue;
+    if (min_latency && c.n_parallel > options.max_parallel_jobs) continue;
+    if (!best) {
+      best = &c;
+      continue;
+    }
+    const double lhs = min_latency ? c.expectation : c.delta_cost;
+    const double rhs = min_latency ? best->expectation : best->delta_cost;
+    if (lhs < rhs) best = &c;
+  }
+  if (!best) {
+    throw std::runtime_error(
+        "StrategyPlanner: no feasible candidate under the given options");
+  }
+  rec.choice = *best;
+  std::ostringstream os;
+  os << to_string(rec.choice.kind);
+  if (rec.choice.kind == StrategyKind::kMultipleSubmission) {
+    os << " with b=" << rec.choice.b;
+  } else if (rec.choice.kind == StrategyKind::kDelayedResubmission) {
+    os << " with t0=" << rec.choice.t0 << "s, t_inf=" << rec.choice.t_inf
+       << "s";
+  } else {
+    os << " with t_inf=" << rec.choice.t_inf << "s";
+  }
+  os << ": E_J=" << rec.choice.expectation
+     << "s, N_par=" << rec.choice.n_parallel
+     << ", delta_cost=" << rec.choice.delta_cost
+     << (min_latency ? " (min-latency objective)" : " (min-cost objective)");
+  rec.rationale = os.str();
+  return rec;
+}
+
+CostEvaluation StrategyPlanner::evaluate_delayed_params(
+    double t0, double t_inf) const {
+  return cost_.evaluate_delayed(t0, t_inf);
+}
+
+}  // namespace gridsub::core

@@ -1,0 +1,59 @@
+#pragma once
+
+// Client-side strategy planner (paper §7.2 "practical implementation" and
+// the conclusion's goal of integrating strategies into the middleware
+// client).
+//
+// Two roles:
+//  1. recommend(): given a latency model, score the three strategies under
+//     a chosen objective (minimum latency subject to a parallel-job budget,
+//     or minimum Δcost) and return the best configuration.
+//  2. Cross-period transfer (Table 6): Δcost optima are estimated on past
+//     data; evaluate_delayed_params() scores parameters tuned on week w-1
+//     against week w's model, quantifying the estimation penalty.
+
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/strategy.hpp"
+#include "model/discretized.hpp"
+
+namespace gridsub::core {
+
+struct PlannerOptions {
+  enum class Objective {
+    kMinLatency,  ///< minimize E_J subject to n_parallel <= budget
+    kMinCost      ///< minimize Δcost (infrastructure-friendly)
+  };
+  Objective objective = Objective::kMinCost;
+  double max_parallel_jobs = 5.0;  ///< budget for kMinLatency
+  int max_b = 10;                  ///< largest multiple-submission size tried
+};
+
+struct Recommendation {
+  CostEvaluation choice;
+  std::vector<CostEvaluation> candidates;  ///< everything that was scored
+  std::string rationale;
+};
+
+class StrategyPlanner {
+ public:
+  /// Keeps a reference to `m` (must outlive this object).
+  explicit StrategyPlanner(const model::DiscretizedLatencyModel& m);
+
+  [[nodiscard]] Recommendation recommend(
+      const PlannerOptions& options = {}) const;
+
+  /// Scores externally-estimated delayed parameters on this model.
+  [[nodiscard]] CostEvaluation evaluate_delayed_params(double t0,
+                                                       double t_inf) const;
+
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+ private:
+  const model::DiscretizedLatencyModel& model_;
+  CostModel cost_;
+};
+
+}  // namespace gridsub::core

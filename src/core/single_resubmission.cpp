@@ -1,0 +1,30 @@
+#include "core/single_resubmission.hpp"
+
+namespace gridsub::core {
+
+SingleResubmission::SingleResubmission(
+    const model::DiscretizedLatencyModel& m)
+    : impl_(m, 1) {}
+
+double SingleResubmission::expectation(double t_inf) const {
+  return impl_.expectation(t_inf);
+}
+
+double SingleResubmission::std_deviation(double t_inf) const {
+  return impl_.std_deviation(t_inf);
+}
+
+StrategyMetrics SingleResubmission::evaluate(double t_inf) const {
+  return impl_.evaluate(t_inf);
+}
+
+double SingleResubmission::expected_submissions(double t_inf) const {
+  return impl_.expected_submissions(t_inf);
+}
+
+TimeoutOptimum SingleResubmission::optimize(double t_min,
+                                            double t_max) const {
+  return impl_.optimize(t_min, t_max);
+}
+
+}  // namespace gridsub::core

@@ -1,0 +1,46 @@
+#pragma once
+
+// Single-resubmission strategy (paper §4, eqs. 1-2).
+//
+// Wait until timeout t∞, cancel, resubmit, iterate until a job starts:
+//   E_J(t∞) = (1/F̃(t∞)) ∫₀^{t∞} (1 - F̃(u)) du            (eq. 1)
+// with the variance given by eq. 2. This is exactly the b = 1 case of the
+// multiple-submission model, which this class delegates to; it exists as a
+// separate type because the paper treats it as the baseline strategy (its
+// optimum defines the Δcost denominator, eq. 6).
+
+#include "core/multiple_submission.hpp"
+#include "core/strategy.hpp"
+#include "model/discretized.hpp"
+
+namespace gridsub::core {
+
+class SingleResubmission {
+ public:
+  /// Keeps a reference to `m` (must outlive this object).
+  explicit SingleResubmission(const model::DiscretizedLatencyModel& m);
+
+  /// E_J(t∞), paper eq. 1.
+  [[nodiscard]] double expectation(double t_inf) const;
+
+  /// sigma_J(t∞), paper eq. 2.
+  [[nodiscard]] double std_deviation(double t_inf) const;
+
+  [[nodiscard]] StrategyMetrics evaluate(double t_inf) const;
+
+  /// Expected number of submissions until success: 1 / F̃(t∞).
+  [[nodiscard]] double expected_submissions(double t_inf) const;
+
+  /// Minimizes E_J over t∞ (grid scan + Brent refinement).
+  [[nodiscard]] TimeoutOptimum optimize(double t_min = -1.0,
+                                        double t_max = -1.0) const;
+
+  [[nodiscard]] const model::DiscretizedLatencyModel& latency_model() const {
+    return impl_.latency_model();
+  }
+
+ private:
+  MultipleSubmission impl_;
+};
+
+}  // namespace gridsub::core

@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared types of the submission-strategy models (paper §§4-7).
+
+#include <string_view>
+
+namespace gridsub::core {
+
+/// User-side performance of a strategy at given parameters.
+struct StrategyMetrics {
+  double expectation = 0.0;    ///< E_J: expected total latency (s)
+  double std_deviation = 0.0;  ///< sigma_J (s)
+};
+
+/// Optimum of a timeout-parameterized strategy (single/multiple).
+struct TimeoutOptimum {
+  double t_inf = 0.0;  ///< optimal timeout (s)
+  StrategyMetrics metrics;
+};
+
+/// Optimum of the delayed-resubmission strategy.
+struct DelayedOptimum {
+  double t0 = 0.0;     ///< resubmission period (s)
+  double t_inf = 0.0;  ///< cancellation timeout (s)
+  StrategyMetrics metrics;
+  double n_parallel = 1.0;  ///< N∥ evaluated at E_J (paper's §6.1 measure)
+};
+
+/// Strategy families studied by the paper.
+enum class StrategyKind {
+  kSingleResubmission,  ///< §4: timeout + resubmit
+  kMultipleSubmission,  ///< §5: b parallel copies
+  kDelayedResubmission  ///< §6: staggered copy without cancellation
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSingleResubmission:
+      return "single-resubmission";
+    case StrategyKind::kMultipleSubmission:
+      return "multiple-submission";
+    case StrategyKind::kDelayedResubmission:
+      return "delayed-resubmission";
+  }
+  return "unknown";
+}
+
+}  // namespace gridsub::core

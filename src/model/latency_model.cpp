@@ -1,0 +1,9 @@
+#include "model/latency_model.hpp"
+
+// The interface is header-only; this TU anchors the vtable.
+
+namespace gridsub::model {
+
+// (intentionally empty)
+
+}  // namespace gridsub::model

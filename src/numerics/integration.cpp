@@ -1,0 +1,111 @@
+#include "numerics/integration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/kahan.hpp"
+
+namespace gridsub::numerics {
+
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n) {
+  if (n < 1) throw std::invalid_argument("trapezoid: n must be >= 1");
+  if (b < a) throw std::invalid_argument("trapezoid: requires b >= a");
+  if (a == b) return 0.0;
+  const double h = (b - a) / static_cast<double>(n);
+  KahanAccumulator acc(0.5 * (f(a) + f(b)));
+  for (std::size_t i = 1; i < n; ++i) {
+    acc.add(f(a + static_cast<double>(i) * h));
+  }
+  return acc.value() * h;
+}
+
+double trapezoid_tabulated(std::span<const double> y, double dx) {
+  if (y.size() < 2) {
+    throw std::invalid_argument("trapezoid_tabulated: need >= 2 samples");
+  }
+  if (!(dx > 0.0)) {
+    throw std::invalid_argument("trapezoid_tabulated: dx must be > 0");
+  }
+  KahanAccumulator acc(0.5 * (y.front() + y.back()));
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) acc.add(y[i]);
+  return acc.value() * dx;
+}
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               std::size_t n) {
+  if (n < 2) n = 2;
+  if (n % 2 != 0) ++n;
+  if (b < a) throw std::invalid_argument("simpson: requires b >= a");
+  if (a == b) return 0.0;
+  const double h = (b - a) / static_cast<double>(n);
+  KahanAccumulator acc(f(a) + f(b));
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = a + static_cast<double>(i) * h;
+    acc.add((i % 2 == 1 ? 4.0 : 2.0) * f(x));
+  }
+  return acc.value() * h / 3.0;
+}
+
+namespace {
+
+double adaptive_simpson_impl(const std::function<double(double)>& f, double a,
+                             double b, double fa, double fm, double fb,
+                             double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double h = b - a;
+  const double left = (h / 12.0) * (fa + 4.0 * flm + fm);
+  const double right = (h / 12.0) * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson_impl(f, a, m, fa, flm, fm, left, 0.5 * tol,
+                               depth - 1) +
+         adaptive_simpson_impl(f, m, b, fm, frm, fb, right, 0.5 * tol,
+                               depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol, int max_depth) {
+  if (b < a) throw std::invalid_argument("adaptive_simpson: requires b >= a");
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = ((b - a) / 6.0) * (fa + 4.0 * fm + fb);
+  return adaptive_simpson_impl(f, a, b, fa, fm, fb, whole, tol, max_depth);
+}
+
+std::vector<double> cumulative_trapezoid(std::span<const double> y,
+                                         double dx) {
+  std::vector<double> out;
+  cumulative_trapezoid(y, dx, out);
+  return out;
+}
+
+void cumulative_trapezoid(std::span<const double> y, double dx,
+                          std::vector<double>& out) {
+  if (y.empty()) {
+    throw std::invalid_argument("cumulative_trapezoid: empty input");
+  }
+  if (!(dx > 0.0)) {
+    throw std::invalid_argument("cumulative_trapezoid: dx must be > 0");
+  }
+  out.resize(y.size());
+  out[0] = 0.0;
+  KahanAccumulator acc;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    acc.add(0.5 * dx * (y[i - 1] + y[i]));
+    out[i] = acc.value();
+  }
+}
+
+}  // namespace gridsub::numerics

@@ -1,0 +1,44 @@
+#pragma once
+
+// Quadrature routines used by the latency-model evaluators.
+//
+// The paper's expectation formulas (eqs. 1-5) are integral functionals of
+// the defective latency CDF F̃_R. On empirical models F̃ is piecewise
+// constant/linear, so composite trapezoid rules on uniform grids (with
+// compensated summation) are both exact enough and fast; adaptive Simpson is
+// provided for smooth parametric integrands and for cross-checking.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gridsub::numerics {
+
+/// Composite trapezoid rule for a callable on [a, b] with n uniform
+/// subintervals. Requires n >= 1 and b >= a.
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n);
+
+/// Trapezoid rule over tabulated samples y[i] = f(a + i*dx), i = 0..y.size()-1.
+/// Requires y.size() >= 2 and dx > 0.
+double trapezoid_tabulated(std::span<const double> y, double dx);
+
+/// Composite Simpson rule (n is rounded up to the next even value).
+double simpson(const std::function<double(double)>& f, double a, double b,
+               std::size_t n);
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol` and a recursion
+/// depth cap. Suitable for smooth integrands (parametric densities).
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol = 1e-9, int max_depth = 30);
+
+/// Cumulative trapezoid integral of tabulated samples: returns c with
+/// c[i] = integral of the linear interpolant of y over [0, i*dx];
+/// c[0] = 0 and c.size() == y.size(). Uses compensated summation.
+std::vector<double> cumulative_trapezoid(std::span<const double> y, double dx);
+
+/// In-place variant writing into `out` (resized to y.size()).
+void cumulative_trapezoid(std::span<const double> y, double dx,
+                          std::vector<double>& out);
+
+}  // namespace gridsub::numerics

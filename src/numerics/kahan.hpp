@@ -1,0 +1,51 @@
+#pragma once
+
+// Kahan/Neumaier compensated summation.
+//
+// The strategy-model evaluators accumulate hundreds of thousands of small
+// trapezoid contributions over discretized CDF grids; naive summation loses
+// several digits, which matters when comparing E_J values that differ by
+// fractions of a second. All prefix-integral code in gridsub uses this
+// accumulator.
+
+#include <cmath>
+
+namespace gridsub::numerics {
+
+/// Neumaier variant of Kahan summation: like Kahan but also correct when the
+/// next addend is larger in magnitude than the running sum.
+class KahanAccumulator {
+ public:
+  constexpr KahanAccumulator() = default;
+  constexpr explicit KahanAccumulator(double initial) : sum_(initial) {}
+
+  /// Adds `value` with compensation.
+  constexpr void add(double value) {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanAccumulator& operator+=(double value) {
+    add(value);
+    return *this;
+  }
+
+  /// Current compensated total.
+  [[nodiscard]] constexpr double value() const { return sum_ + compensation_; }
+
+  constexpr void reset(double initial = 0.0) {
+    sum_ = initial;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace gridsub::numerics

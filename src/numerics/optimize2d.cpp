@@ -1,0 +1,118 @@
+#include "numerics/optimize2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gridsub::numerics {
+
+namespace {
+
+struct Vertex {
+  double x, y, f;
+};
+
+}  // namespace
+
+MinResult2D nelder_mead(const std::function<double(double, double)>& f,
+                        std::array<double, 2> start,
+                        std::array<double, 2> step, double ftol,
+                        int max_iter) {
+  MinResult2D res;
+  std::array<Vertex, 3> s{};
+  s[0] = {start[0], start[1], f(start[0], start[1])};
+  s[1] = {start[0] + step[0], start[1], f(start[0] + step[0], start[1])};
+  s[2] = {start[0], start[1] + step[1], f(start[0], start[1] + step[1])};
+  res.evaluations = 3;
+
+  constexpr double alpha = 1.0;   // reflection
+  constexpr double gamma = 2.0;   // expansion
+  constexpr double rho = 0.5;     // contraction
+  constexpr double sigma = 0.5;   // shrink
+
+  for (int it = 0; it < max_iter; ++it) {
+    std::sort(s.begin(), s.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    if (std::isfinite(s[2].f) &&
+        std::abs(s[2].f - s[0].f) <=
+            ftol * (std::abs(s[0].f) + std::abs(s[2].f) + 1e-30)) {
+      break;
+    }
+    const double cx = 0.5 * (s[0].x + s[1].x);
+    const double cy = 0.5 * (s[0].y + s[1].y);
+    const double rx = cx + alpha * (cx - s[2].x);
+    const double ry = cy + alpha * (cy - s[2].y);
+    const double fr = f(rx, ry);
+    ++res.evaluations;
+    if (fr < s[0].f) {
+      const double ex = cx + gamma * (rx - cx);
+      const double ey = cy + gamma * (ry - cy);
+      const double fe = f(ex, ey);
+      ++res.evaluations;
+      s[2] = (fe < fr) ? Vertex{ex, ey, fe} : Vertex{rx, ry, fr};
+    } else if (fr < s[1].f) {
+      s[2] = {rx, ry, fr};
+    } else {
+      const double kx = cx + rho * (s[2].x - cx);
+      const double ky = cy + rho * (s[2].y - cy);
+      const double fk = f(kx, ky);
+      ++res.evaluations;
+      if (fk < s[2].f) {
+        s[2] = {kx, ky, fk};
+      } else {
+        for (int i = 1; i < 3; ++i) {
+          s[i].x = s[0].x + sigma * (s[i].x - s[0].x);
+          s[i].y = s[0].y + sigma * (s[i].y - s[0].y);
+          s[i].f = f(s[i].x, s[i].y);
+          ++res.evaluations;
+        }
+      }
+    }
+  }
+  std::sort(s.begin(), s.end(),
+            [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  res.x = s[0].x;
+  res.y = s[0].y;
+  res.value = s[0].f;
+  return res;
+}
+
+MinResult2D grid_then_nelder_mead(
+    const std::function<double(double, double)>& f, double x_lo, double x_hi,
+    double y_lo, double y_hi, std::size_t nx, std::size_t ny, double ftol) {
+  if (!(x_hi >= x_lo) || !(y_hi >= y_lo)) {
+    throw std::invalid_argument("grid_then_nelder_mead: bad bounds");
+  }
+  if (nx < 2) nx = 2;
+  if (ny < 2) ny = 2;
+  MinResult2D best;
+  best.value = std::numeric_limits<double>::infinity();
+  const double hx = (x_hi - x_lo) / static_cast<double>(nx - 1);
+  const double hy = (y_hi - y_lo) / static_cast<double>(ny - 1);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double x = x_lo + static_cast<double>(i) * hx;
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double y = y_lo + static_cast<double>(j) * hy;
+      const double v = f(x, y);
+      ++best.evaluations;
+      if (v < best.value) {
+        best.value = v;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  if (!std::isfinite(best.value)) return best;
+  MinResult2D refined =
+      nelder_mead(f, {best.x, best.y}, {0.5 * hx + 1e-9, 0.5 * hy + 1e-9},
+                  ftol);
+  refined.evaluations += best.evaluations;
+  if (refined.value <= best.value && std::isfinite(refined.value)) {
+    return refined;
+  }
+  best.evaluations = refined.evaluations;
+  return best;
+}
+
+}  // namespace gridsub::numerics

@@ -1,0 +1,40 @@
+#pragma once
+
+// Two-dimensional minimization for the delayed-resubmission model.
+//
+// E_J(t0, t∞) must be minimized over the triangular feasible region
+// 0 < t0 < t∞ < 2·t0 (paper §6), possibly with the ratio t∞/t0 fixed
+// (paper §6.2) — the ratio-constrained case reduces to 1D and is handled in
+// core/. The free 2D case uses a feasibility-masked grid scan followed by
+// Nelder-Mead refinement with constraint penalties.
+
+#include <array>
+#include <functional>
+
+namespace gridsub::numerics {
+
+/// Result of a 2D minimization.
+struct MinResult2D {
+  double x = 0.0;
+  double y = 0.0;
+  double value = 0.0;
+  int evaluations = 0;
+};
+
+/// Nelder-Mead simplex minimization started from `start` with initial step
+/// sizes `step`. The objective may return +inf outside its feasible region
+/// (the simplex contracts away from infeasible vertices).
+MinResult2D nelder_mead(
+    const std::function<double(double, double)>& f,
+    std::array<double, 2> start, std::array<double, 2> step,
+    double ftol = 1e-9, int max_iter = 2000);
+
+/// Dense grid scan over [x_lo,x_hi] x [y_lo,y_hi] (nx x ny points) followed
+/// by Nelder-Mead refinement from the best grid point. Infeasible points may
+/// be signalled by the objective returning +inf.
+MinResult2D grid_then_nelder_mead(
+    const std::function<double(double, double)>& f, double x_lo, double x_hi,
+    double y_lo, double y_hi, std::size_t nx, std::size_t ny,
+    double ftol = 1e-9);
+
+}  // namespace gridsub::numerics

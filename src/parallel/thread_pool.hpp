@@ -1,0 +1,68 @@
+#pragma once
+
+// Minimal work-queue thread pool.
+//
+// gridsub parallelizes embarrassingly parallel work: Monte Carlo
+// replications, per-dataset table rows, and the (t0, t∞) surface sweep of
+// the delayed-resubmission model. A shared pool avoids re-spawning threads
+// for every bench row. The pool is exception-safe: tasks propagate
+// exceptions through their futures.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gridsub::par {
+
+/// Fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit on stopped pool");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace gridsub::par

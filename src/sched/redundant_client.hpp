@@ -1,0 +1,108 @@
+#pragma once
+
+// Related-work baselines (paper §2), executed on the simulated grid.
+//
+// * Subramani et al. (HPDC'02) "K-distributed": each task is submitted to
+//   the K least-loaded sites *directly* (no WMS ranking staleness); when
+//   the first copy starts, the other K-1 are canceled.
+// * Subramani et al. "K-Dual queue": as K-distributed, but the copy at the
+//   client's home site enters the local queue while the K-1 duplicates
+//   enter foreign sites' *remote* queues, which have strictly lower
+//   priority — duplicates consume only otherwise-idle slots.
+// * Casanova (JGC'07) redundant batch requests: K copies on K sites chosen
+//   uniformly at random (no load information at all).
+//
+// The figure of merit is Subramani's bounded slowdown
+//   slowdown = (latency + runtime) / runtime,
+// so schemes are comparable across task lengths. A safety timeout guards
+// against the paper's grid reality the baselines did not model — silently
+// lost jobs — by resubmitting the whole round.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/grid.hpp"
+
+namespace gridsub::sched {
+
+/// Which baseline protocol a RedundantClient runs.
+enum class BaselineScheme {
+  kKDistributed,  ///< K least-loaded sites, plain queues
+  kKDualQueue,    ///< home copy local, K-1 duplicates in remote lanes
+  kKRandom        ///< Casanova: K uniformly random sites
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BaselineScheme s) {
+  switch (s) {
+    case BaselineScheme::kKDistributed:
+      return "K-distributed";
+    case BaselineScheme::kKDualQueue:
+      return "K-dual-queue";
+    case BaselineScheme::kKRandom:
+      return "K-random";
+  }
+  return "unknown";
+}
+
+struct BaselineSpec {
+  BaselineScheme scheme = BaselineScheme::kKDistributed;
+  int k = 2;                      ///< copies per task (clamped to site count)
+  double safety_timeout = 6000.0; ///< round resubmission guard (s)
+  std::size_t home_site = 0;      ///< K-Dual home CE index
+  /// Age of the load information the client ranks sites with. On EGEE the
+  /// information system republished every few minutes; redundancy exists
+  /// precisely to hedge this staleness (0 = omniscient fresh loads).
+  double info_staleness = 300.0;
+};
+
+/// Outcome of one task under a baseline scheme.
+struct BaselineOutcome {
+  double latency = 0.0;     ///< submission -> first copy starts
+  double slowdown = 0.0;    ///< (latency + runtime) / runtime
+  int submissions = 0;      ///< total copies submitted (rounds x K)
+  int rounds = 1;           ///< 1 unless the safety timeout fired
+};
+
+/// Runs `n_tasks` sequentially through a baseline scheme on a live grid
+/// (mirrors sim::StrategyClient so the two are directly comparable).
+class RedundantClient {
+ public:
+  RedundantClient(sim::GridSimulation& grid, BaselineSpec spec,
+                  std::size_t n_tasks, double task_runtime);
+
+  RedundantClient(const RedundantClient&) = delete;
+  RedundantClient& operator=(const RedundantClient&) = delete;
+
+  /// Begins the first task.
+  void start();
+
+  [[nodiscard]] bool done() const { return outcomes_.size() >= n_tasks_; }
+  [[nodiscard]] const std::vector<BaselineOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+  [[nodiscard]] double mean_latency() const;
+  [[nodiscard]] double mean_slowdown() const;
+  [[nodiscard]] double mean_submissions() const;
+
+ private:
+  void start_task();
+  void run_round(std::shared_ptr<BaselineOutcome> outcome,
+                 sim::SimTime task_start);
+  /// The K target CE indices for this round, scheme-dependent.
+  [[nodiscard]] std::vector<std::size_t> pick_sites();
+  /// The (possibly stale) load view used for ranking.
+  [[nodiscard]] const std::vector<double>& load_view();
+  void finish_task(const BaselineOutcome& outcome);
+
+  sim::GridSimulation& grid_;
+  BaselineSpec spec_;
+  std::size_t n_tasks_;
+  double task_runtime_;
+  stats::Rng rng_;
+  std::vector<BaselineOutcome> outcomes_;
+  std::vector<double> load_snapshot_;
+  sim::SimTime snapshot_time_ = -1.0;
+};
+
+}  // namespace gridsub::sched

@@ -1,0 +1,36 @@
+#include "sim/background_load.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/lognormal.hpp"
+
+namespace gridsub::sim {
+
+BackgroundLoad::BackgroundLoad(Simulator& sim, WorkloadManager& wms,
+                               const BackgroundLoadConfig& config,
+                               stats::Rng rng)
+    : sim_(sim), wms_(wms), config_(config), rng_(rng) {
+  if (!(config.arrival_rate >= 0.0)) {
+    throw std::invalid_argument("BackgroundLoad: negative arrival rate");
+  }
+  const double sigma = config.runtime_sigma_log;
+  const double mu = std::log(config.runtime_mean) - 0.5 * sigma * sigma;
+  runtime_dist_ = std::make_unique<stats::LogNormal>(mu, sigma);
+  if (config.arrival_rate > 0.0) schedule_next();
+}
+
+void BackgroundLoad::stop() { stopped_ = true; }
+
+void BackgroundLoad::schedule_next() {
+  if (stopped_) return;
+  const double gap = rng_.exponential(config_.arrival_rate);
+  sim_.schedule_in(gap, [this]() {
+    if (stopped_) return;
+    ++emitted_;
+    wms_.submit(runtime_dist_->sample(rng_), nullptr);
+    schedule_next();
+  });
+}
+
+}  // namespace gridsub::sim

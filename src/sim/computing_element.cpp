@@ -1,0 +1,105 @@
+#include "sim/computing_element.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gridsub::sim {
+
+ComputingElement::ComputingElement(Simulator& sim, std::string name,
+                                   int slots, double fault_prob,
+                                   stats::Rng rng, GridMetrics* metrics)
+    : sim_(sim),
+      name_(std::move(name)),
+      slots_(slots),
+      fault_prob_(fault_prob),
+      rng_(rng),
+      metrics_(metrics) {
+  if (slots < 1) throw std::invalid_argument("ComputingElement: slots < 1");
+  if (fault_prob < 0.0 || fault_prob > 1.0) {
+    throw std::invalid_argument("ComputingElement: fault_prob");
+  }
+}
+
+double ComputingElement::load() const {
+  return (static_cast<double>(queue_length()) + running_) /
+         static_cast<double>(slots_);
+}
+
+ComputingElement::JobHandle ComputingElement::submit(
+    double runtime, StartCallback on_start, CompleteCallback on_complete,
+    Lane lane) {
+  if (runtime < 0.0) {
+    throw std::invalid_argument("ComputingElement::submit: runtime < 0");
+  }
+  const JobHandle handle = next_handle_++;
+  if (metrics_) ++metrics_->jobs_dispatched;
+  if (!available_) {
+    // Gateway down: the job vanishes in the submission chain.
+    if (metrics_) ++metrics_->jobs_faulted;
+    return handle;
+  }
+  if (fault_prob_ > 0.0 && rng_.bernoulli(fault_prob_)) {
+    // Silently lost: the handle is never queued; cancel() on it is a no-op
+    // returning false, and the client's timeout is the only detector.
+    if (metrics_) ++metrics_->jobs_faulted;
+    return handle;
+  }
+  pending_.emplace(
+      handle, PendingJob{runtime, sim_.now(), std::move(on_start),
+                         std::move(on_complete)});
+  (lane == Lane::kLocal ? queue_ : remote_queue_).push_back(handle);
+  try_start_next();
+  return handle;
+}
+
+bool ComputingElement::cancel(JobHandle handle) {
+  if (auto it = pending_.find(handle); it != pending_.end()) {
+    pending_.erase(it);
+    // Lazy removal from the FIFO: skip dead handles in try_start_next().
+    return true;
+  }
+  if (auto it = running_jobs_.find(handle); it != running_jobs_.end()) {
+    sim_.cancel(it->second);
+    running_jobs_.erase(it);
+    --running_;
+    // Slot freed: pull the next queued job.
+    try_start_next();
+    return true;
+  }
+  return false;
+}
+
+void ComputingElement::try_start_next() {
+  while (running_ < slots_ && (!queue_.empty() || !remote_queue_.empty())) {
+    // Strict lane priority: remote copies only start when no local job
+    // waits (Subramani's dual-queue rule).
+    auto& lane = !queue_.empty() ? queue_ : remote_queue_;
+    const JobHandle handle = lane.front();
+    lane.pop_front();
+    auto it = pending_.find(handle);
+    if (it == pending_.end()) continue;  // canceled while queued
+    PendingJob job = std::move(it->second);
+    pending_.erase(it);
+    ++running_;
+    if (metrics_) {
+      ++metrics_->jobs_started;
+      metrics_->total_queue_wait += sim_.now() - job.enqueue_time;
+    }
+    if (job.on_start) job.on_start();
+    const EventId done = sim_.schedule_in(
+        job.runtime, [this, handle, cb = std::move(job.on_complete)]() {
+          finish_job(handle);
+          if (cb) cb();
+        });
+    running_jobs_.emplace(handle, done);
+  }
+}
+
+void ComputingElement::finish_job(JobHandle handle) {
+  if (running_jobs_.erase(handle) == 0) return;  // already canceled
+  --running_;
+  if (metrics_) ++metrics_->jobs_completed;
+  try_start_next();
+}
+
+}  // namespace gridsub::sim

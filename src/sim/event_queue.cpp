@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace gridsub::sim {
+
+EventId EventQueue::push(SimTime time, std::function<void()> fn,
+                         bool daemon) {
+  const EventId id = next_id_++;
+  heap_.push({time, id});
+  callbacks_.emplace(id, Callback{std::move(fn), daemon});
+  if (!daemon) ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  if (!it->second.daemon) --live_count_;
+  callbacks_.erase(it);  // heap entry is dropped lazily
+  return true;
+}
+
+void EventQueue::drop_canceled() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_canceled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_canceled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second.fn)};
+  if (!it->second.daemon) --live_count_;
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace gridsub::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+// Cancellable discrete-event queue.
+//
+// Grid clients cancel jobs all the time (that is what the paper's
+// strategies *are*), so cancellation is first-class: push() returns an id,
+// cancel() lazily invalidates it. Ties in time are broken by insertion
+// order, which keeps runs deterministic.
+//
+// Events come in two flavours. Regular events keep the simulation alive;
+// *daemon* events are housekeeping (e.g. the WMS refreshing its stale load
+// snapshot every two minutes) and do not: once only daemon events remain,
+// the simulation is considered finished.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace gridsub::sim {
+
+/// Simulation clock time (seconds).
+using SimTime = double;
+
+/// Handle to a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at `time`; returns a cancellation handle. Daemon
+  /// events do not count towards liveness (see live_size()).
+  EventId push(SimTime time, std::function<void()> fn, bool daemon = false);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// canceled.
+  bool cancel(EventId id);
+
+  /// True if no events (of either kind) remain.
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+
+  /// Number of live (non-canceled, not-yet-run) events, daemons included.
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Number of live non-daemon events. The simulation is "done" when this
+  /// reaches zero, even if periodic daemon events are still scheduled.
+  [[nodiscard]] std::size_t live_size() const { return live_count_; }
+
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Extracts the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Callback {
+    std::function<void()> fn;
+    bool daemon;
+  };
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void drop_canceled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace gridsub::sim

@@ -1,0 +1,9 @@
+#include "sim/metrics.hpp"
+
+// Header-only counters; this TU exists to keep the module layout uniform.
+
+namespace gridsub::sim {
+
+// (intentionally empty)
+
+}  // namespace gridsub::sim

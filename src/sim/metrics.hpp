@@ -1,0 +1,34 @@
+#pragma once
+
+// Grid-wide counters, shared by the WMS and computing elements.
+//
+// Benches and the feedback example read these to quantify infrastructure
+// load: how many jobs the brokers handled, how many were canceled (the
+// administrators' complaint about aggressive strategies), queueing delays.
+
+#include <cstdint>
+
+namespace gridsub::sim {
+
+struct GridMetrics {
+  std::uint64_t jobs_submitted = 0;   ///< accepted by the WMS
+  std::uint64_t jobs_dispatched = 0;  ///< handed to a computing element
+  std::uint64_t jobs_started = 0;     ///< began execution on a worker
+  std::uint64_t jobs_completed = 0;   ///< finished execution
+  std::uint64_t jobs_canceled = 0;    ///< canceled by a client strategy
+  std::uint64_t jobs_faulted = 0;     ///< lost to injected faults
+  double total_queue_wait = 0.0;      ///< sum over started jobs (s)
+  double total_matchmaking = 0.0;     ///< sum of WMS processing times (s)
+
+  [[nodiscard]] double mean_queue_wait() const {
+    return jobs_started ? total_queue_wait / static_cast<double>(jobs_started)
+                        : 0.0;
+  }
+  [[nodiscard]] double cancel_fraction() const {
+    return jobs_submitted ? static_cast<double>(jobs_canceled) /
+                                static_cast<double>(jobs_submitted)
+                          : 0.0;
+  }
+};
+
+}  // namespace gridsub::sim

@@ -1,0 +1,19 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace gridsub::sim {
+
+NetworkModel::NetworkModel(const NetworkConfig& config)
+    : config_(config),
+      per_hop_(config.hop_shape, config.hop_mean / config.hop_shape) {
+  if (config.hops < 1) throw std::invalid_argument("NetworkModel: hops < 1");
+}
+
+double NetworkModel::sample_path_delay(stats::Rng& rng) const {
+  double total = 0.0;
+  for (int i = 0; i < config_.hops; ++i) total += per_hop_.sample(rng);
+  return total;
+}
+
+}  // namespace gridsub::sim

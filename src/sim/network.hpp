@@ -1,0 +1,37 @@
+#pragma once
+
+// Network / middleware hop delays.
+//
+// The paper stresses that ~10 machines participate in a submission
+// (credential delegation, match-making, file catalog, monitoring...). We
+// model the aggregate per-hop overhead as gamma-distributed delays with a
+// configurable hop count — enough to give the latency floor and bulk the
+// probe campaigns observe.
+
+#include "stats/gamma.hpp"
+#include "stats/rng.hpp"
+
+namespace gridsub::sim {
+
+struct NetworkConfig {
+  int hops = 4;              ///< middleware hops per submission
+  double hop_mean = 8.0;     ///< mean delay per hop (s)
+  double hop_shape = 2.0;    ///< gamma shape per hop (cv = 1/sqrt(shape))
+};
+
+/// Samples submission-path delays.
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkConfig& config);
+
+  /// Total delay across all hops for one traversal.
+  [[nodiscard]] double sample_path_delay(stats::Rng& rng) const;
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+  stats::GammaDist per_hop_;
+};
+
+}  // namespace gridsub::sim

@@ -1,0 +1,48 @@
+#include "sim/outage_injector.hpp"
+
+#include <stdexcept>
+
+namespace gridsub::sim {
+
+OutageInjector::OutageInjector(Simulator& sim,
+                               std::vector<ComputingElement*> ces,
+                               const OutageConfig& config, stats::Rng rng)
+    : sim_(sim), ces_(std::move(ces)), config_(config), rng_(rng) {
+  if (ces_.empty()) {
+    throw std::invalid_argument("OutageInjector: no computing elements");
+  }
+  if (!(config.mean_time_to_failure > 0.0) ||
+      !(config.mean_outage_duration > 0.0)) {
+    throw std::invalid_argument("OutageInjector: non-positive means");
+  }
+  for (std::size_t i = 0; i < ces_.size(); ++i) schedule_failure(i);
+}
+
+void OutageInjector::schedule_failure(std::size_t index) {
+  const double ttf =
+      rng_.exponential(1.0 / config_.mean_time_to_failure);
+  sim_.schedule_daemon_in(ttf, [this, index]() {
+    ces_[index]->set_available(false);
+    ++outages_;
+    schedule_repair(index);
+  });
+}
+
+void OutageInjector::schedule_repair(std::size_t index) {
+  const double ttr =
+      rng_.exponential(1.0 / config_.mean_outage_duration);
+  sim_.schedule_daemon_in(ttr, [this, index]() {
+    ces_[index]->set_available(true);
+    schedule_failure(index);
+  });
+}
+
+std::size_t OutageInjector::down_count() const {
+  std::size_t down = 0;
+  for (const auto* ce : ces_) {
+    if (!ce->available()) ++down;
+  }
+  return down;
+}
+
+}  // namespace gridsub::sim

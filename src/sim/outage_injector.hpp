@@ -1,0 +1,54 @@
+#pragma once
+
+// Site-outage injection.
+//
+// The paper's §1 attributes a large share of grid faults to
+// network/connectivity problems and local configuration issues — whole
+// sites becoming unreachable for a while, not just per-job coin flips.
+// This component gives each computing element an alternating up/down
+// renewal process (exponential time-to-failure and time-to-repair):
+// while a site is down, submissions to it are silently lost. Outages
+// are scheduled as daemon events, so they never keep a simulation alive.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/computing_element.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace gridsub::sim {
+
+struct OutageConfig {
+  double mean_time_to_failure = 250000.0;  ///< per site, exponential (s)
+  double mean_outage_duration = 4000.0;    ///< per outage, exponential (s)
+};
+
+class OutageInjector {
+ public:
+  /// Arms the failure process on every element (all start up). The
+  /// elements must outlive the injector.
+  OutageInjector(Simulator& sim, std::vector<ComputingElement*> ces,
+                 const OutageConfig& config, stats::Rng rng);
+
+  OutageInjector(const OutageInjector&) = delete;
+  OutageInjector& operator=(const OutageInjector&) = delete;
+
+  /// Outages begun so far.
+  [[nodiscard]] std::uint64_t outages() const { return outages_; }
+
+  /// Sites currently down.
+  [[nodiscard]] std::size_t down_count() const;
+
+ private:
+  void schedule_failure(std::size_t index);
+  void schedule_repair(std::size_t index);
+
+  Simulator& sim_;
+  std::vector<ComputingElement*> ces_;
+  OutageConfig config_;
+  stats::Rng rng_;
+  std::uint64_t outages_ = 0;
+};
+
+}  // namespace gridsub::sim

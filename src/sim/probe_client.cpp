@@ -1,0 +1,58 @@
+#include "sim/probe_client.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gridsub::sim {
+
+ProbeClient::ProbeClient(GridSimulation& grid,
+                         const ProbeCampaignConfig& config,
+                         std::string trace_name)
+    : grid_(grid),
+      config_(config),
+      trace_(std::move(trace_name), config.timeout) {
+  if (config.n_probes == 0 || config.concurrent == 0) {
+    throw std::invalid_argument("ProbeClient: empty campaign");
+  }
+}
+
+void ProbeClient::start() {
+  const std::size_t initial =
+      std::min(config_.concurrent, config_.n_probes);
+  for (std::size_t i = 0; i < initial; ++i) submit_probe();
+}
+
+void ProbeClient::submit_probe() {
+  if (submitted_ >= config_.n_probes) return;
+  ++submitted_;
+  auto& sim = grid_.simulator();
+  const SimTime submit_time = sim.now();
+
+  // Shared one-shot state: whichever fires first (start vs timeout) wins.
+  struct ProbeState {
+    bool settled = false;
+    WorkloadManager::TicketId ticket = 0;
+    EventId timeout_event = 0;
+  };
+  auto state = std::make_shared<ProbeState>();
+
+  state->ticket = grid_.wms().submit(
+      config_.probe_runtime, [this, state, submit_time]() {
+        if (state->settled) return;
+        state->settled = true;
+        grid_.simulator().cancel(state->timeout_event);
+        trace_.add_completed(submit_time,
+                             grid_.simulator().now() - submit_time);
+        submit_probe();  // keep the in-flight count constant
+      });
+  state->timeout_event =
+      sim.schedule_in(config_.timeout, [this, state, submit_time]() {
+        if (state->settled) return;
+        state->settled = true;
+        grid_.wms().cancel(state->ticket);
+        trace_.add_outlier(submit_time);
+        submit_probe();
+      });
+}
+
+}  // namespace gridsub::sim

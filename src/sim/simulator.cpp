@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gridsub::sim {
+
+EventId Simulator::schedule_at(SimTime time, std::function<void()> fn) {
+  if (time < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  return queue_.push(time, std::move(fn));
+}
+
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_daemon_at(SimTime time,
+                                      std::function<void()> fn) {
+  if (time < now_) {
+    throw std::invalid_argument(
+        "Simulator::schedule_daemon_at: time in the past");
+  }
+  return queue_.push(time, std::move(fn), /*daemon=*/true);
+}
+
+EventId Simulator::schedule_daemon_in(SimTime delay,
+                                      std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument(
+        "Simulator::schedule_daemon_in: negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(fn), /*daemon=*/true);
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::step() {
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++processed_;
+  fired.fn();
+}
+
+void Simulator::run() {
+  while (queue_.live_size() > 0) step();
+}
+
+void Simulator::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.next_time() <= t_end) step();
+  if (t_end > now_) now_ = t_end;
+}
+
+}  // namespace gridsub::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// Single-threaded and deterministic: components schedule callbacks,
+// run()/run_until() advances the clock monotonically. All grid components
+// (WMS, computing elements, clients) hold a reference to one Simulator.
+//
+// Periodic housekeeping (e.g. the WMS load-information refresh) is
+// scheduled as *daemon* events: they fire in time order like any other
+// event but do not keep run() alive, so a simulation terminates once all
+// real work has drained.
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace gridsub::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules at an absolute time (>= now).
+  EventId schedule_at(SimTime time, std::function<void()> fn);
+
+  /// Schedules `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Daemon variants: the event fires normally but does not keep run()
+  /// alive (use for self-rescheduling housekeeping).
+  EventId schedule_daemon_at(SimTime time, std::function<void()> fn);
+  EventId schedule_daemon_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; false if it already fired or was canceled.
+  bool cancel(EventId id);
+
+  /// Runs until no non-daemon events remain.
+  void run();
+
+  /// Runs all events with time <= t_end, then sets the clock to t_end.
+  void run_until(SimTime t_end);
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::size_t processed_events() const { return processed_; }
+
+  /// Live events still scheduled (daemons included).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  void step();
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace gridsub::sim

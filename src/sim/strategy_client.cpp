@@ -1,0 +1,183 @@
+#include "sim/strategy_client.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "numerics/kahan.hpp"
+
+namespace gridsub::sim {
+
+StrategyClient::StrategyClient(GridSimulation& grid, StrategySpec spec,
+                               std::size_t n_tasks, double task_runtime)
+    : grid_(grid),
+      spec_(spec),
+      n_tasks_(n_tasks),
+      task_runtime_(task_runtime) {
+  if (n_tasks == 0) throw std::invalid_argument("StrategyClient: no tasks");
+  if (!(spec.t_inf > 0.0)) {
+    throw std::invalid_argument("StrategyClient: t_inf <= 0");
+  }
+  if (spec.kind == core::StrategyKind::kMultipleSubmission && spec.b < 1) {
+    throw std::invalid_argument("StrategyClient: b < 1");
+  }
+  if (spec.kind == core::StrategyKind::kDelayedResubmission &&
+      !(spec.t0 > 0.0 && spec.t0 < spec.t_inf &&
+        spec.t_inf <= 2.0 * spec.t0 * (1.0 + 1e-9))) {
+    throw std::invalid_argument(
+        "StrategyClient: delayed requires 0 < t0 < t_inf <= 2*t0");
+  }
+  outcomes_.reserve(n_tasks);
+}
+
+void StrategyClient::start() { start_task(); }
+
+void StrategyClient::start_task() {
+  if (outcomes_.size() >= n_tasks_) return;
+  const SimTime task_start = grid_.simulator().now();
+  auto outcome = std::make_shared<TaskOutcome>();
+  switch (spec_.kind) {
+    case core::StrategyKind::kSingleResubmission:
+      run_single_round(outcome, task_start);
+      break;
+    case core::StrategyKind::kMultipleSubmission:
+      run_multiple_round(outcome, task_start);
+      break;
+    case core::StrategyKind::kDelayedResubmission:
+      run_delayed(outcome, task_start);
+      break;
+  }
+}
+
+void StrategyClient::finish_task(const TaskOutcome& outcome) {
+  outcomes_.push_back(outcome);
+  start_task();
+}
+
+void StrategyClient::run_single_round(std::shared_ptr<TaskOutcome> outcome,
+                                      SimTime task_start) {
+  struct RoundState {
+    bool settled = false;
+    WorkloadManager::TicketId ticket = 0;
+    EventId timeout_event = 0;
+  };
+  auto state = std::make_shared<RoundState>();
+  ++outcome->submissions;
+  auto& sim = grid_.simulator();
+  state->ticket =
+      grid_.wms().submit(task_runtime_, [this, state, outcome, task_start]() {
+        if (state->settled) return;
+        state->settled = true;
+        grid_.simulator().cancel(state->timeout_event);
+        outcome->total_latency = grid_.simulator().now() - task_start;
+        finish_task(*outcome);
+      });
+  state->timeout_event =
+      sim.schedule_in(spec_.t_inf, [this, state, outcome, task_start]() {
+        if (state->settled) return;
+        state->settled = true;
+        grid_.wms().cancel(state->ticket);
+        run_single_round(outcome, task_start);  // resubmit
+      });
+}
+
+void StrategyClient::run_multiple_round(std::shared_ptr<TaskOutcome> outcome,
+                                        SimTime task_start) {
+  struct RoundState {
+    bool settled = false;
+    std::vector<WorkloadManager::TicketId> tickets;
+    EventId timeout_event = 0;
+  };
+  auto state = std::make_shared<RoundState>();
+  auto& sim = grid_.simulator();
+  for (int i = 0; i < spec_.b; ++i) {
+    ++outcome->submissions;
+    const auto ticket = grid_.wms().submit(
+        task_runtime_, [this, state, outcome, task_start, i]() {
+          if (state->settled) return;
+          state->settled = true;
+          grid_.simulator().cancel(state->timeout_event);
+          // Cancel the rest of the collection.
+          for (int j = 0; j < static_cast<int>(state->tickets.size()); ++j) {
+            if (j != i) grid_.wms().cancel(state->tickets[j]);
+          }
+          outcome->total_latency = grid_.simulator().now() - task_start;
+          finish_task(*outcome);
+        });
+    state->tickets.push_back(ticket);
+  }
+  state->timeout_event =
+      sim.schedule_in(spec_.t_inf, [this, state, outcome, task_start]() {
+        if (state->settled) return;
+        state->settled = true;
+        for (const auto t : state->tickets) grid_.wms().cancel(t);
+        run_multiple_round(outcome, task_start);  // resubmit collection
+      });
+}
+
+void StrategyClient::run_delayed(std::shared_ptr<TaskOutcome> outcome,
+                                 SimTime task_start) {
+  struct Copy {
+    WorkloadManager::TicketId ticket = 0;
+    EventId timeout_event = 0;
+  };
+  struct DelayedState {
+    bool settled = false;
+    std::map<int, Copy> live;  // copy index -> handles
+    EventId next_submit_event = 0;
+    int next_index = 0;
+  };
+  auto state = std::make_shared<DelayedState>();
+
+  // Submits copy `k` (at time task_start + k*t0) and schedules copy k+1.
+  auto submit_copy = std::make_shared<std::function<void()>>();
+  *submit_copy = [this, state, outcome, task_start, submit_copy]() {
+    if (state->settled) return;
+    auto& sim = grid_.simulator();
+    const int k = state->next_index++;
+    ++outcome->submissions;
+    Copy copy;
+    copy.ticket = grid_.wms().submit(
+        task_runtime_, [this, state, outcome, task_start, k]() {
+          if (state->settled) return;
+          state->settled = true;
+          auto& s = grid_.simulator();
+          s.cancel(state->next_submit_event);
+          for (auto& [index, c] : state->live) {
+            s.cancel(c.timeout_event);
+            if (index != k) grid_.wms().cancel(c.ticket);
+          }
+          state->live.clear();
+          outcome->total_latency = s.now() - task_start;
+          finish_task(*outcome);
+        });
+    copy.timeout_event = sim.schedule_in(spec_.t_inf, [this, state, k]() {
+      if (state->settled) return;
+      auto it = state->live.find(k);
+      if (it == state->live.end()) return;
+      grid_.wms().cancel(it->second.ticket);
+      state->live.erase(it);
+    });
+    state->live.emplace(k, copy);
+    // Schedule the next copy one period later.
+    state->next_submit_event = sim.schedule_at(
+        task_start + static_cast<double>(state->next_index) * spec_.t0,
+        [submit_copy]() { (*submit_copy)(); });
+  };
+  (*submit_copy)();
+}
+
+double StrategyClient::mean_latency() const {
+  if (outcomes_.empty()) return 0.0;
+  numerics::KahanAccumulator acc;
+  for (const auto& o : outcomes_) acc.add(o.total_latency);
+  return acc.value() / static_cast<double>(outcomes_.size());
+}
+
+double StrategyClient::mean_submissions() const {
+  if (outcomes_.empty()) return 0.0;
+  numerics::KahanAccumulator acc;
+  for (const auto& o : outcomes_) acc.add(o.submissions);
+  return acc.value() / static_cast<double>(outcomes_.size());
+}
+
+}  // namespace gridsub::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+// Strategy clients: the paper's three submission strategies executed with
+// real cancel semantics against the simulated grid.
+//
+// Unlike the Monte Carlo engine (which samples latencies from a model),
+// these clients interact with the live infrastructure: their cancellations
+// free queue slots, their resubmissions add load, and — in the feedback
+// experiment — many concurrent strategy clients perturb each other, the
+// paper's stated future work.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "sim/grid.hpp"
+
+namespace gridsub::sim {
+
+/// Parameters of the client-side protocol for one task stream.
+struct StrategySpec {
+  core::StrategyKind kind = core::StrategyKind::kSingleResubmission;
+  double t_inf = 900.0;  ///< timeout (all strategies)
+  double t0 = 600.0;     ///< delayed only
+  int b = 1;             ///< multiple only
+};
+
+/// Outcome of one task (one logical job pushed through the strategy).
+struct TaskOutcome {
+  double total_latency = 0.0;  ///< J: submission of first copy -> first start
+  int submissions = 0;         ///< copies submitted for this task
+};
+
+/// Runs `n_tasks` sequentially: task i+1 begins when task i's job has
+/// started. Designed so several clients can share one grid.
+class StrategyClient {
+ public:
+  StrategyClient(GridSimulation& grid, StrategySpec spec,
+                 std::size_t n_tasks, double task_runtime = 1.0);
+
+  StrategyClient(const StrategyClient&) = delete;
+  StrategyClient& operator=(const StrategyClient&) = delete;
+
+  /// Begins the first task.
+  void start();
+
+  [[nodiscard]] bool done() const {
+    return outcomes_.size() >= n_tasks_;
+  }
+  [[nodiscard]] const std::vector<TaskOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+  /// Mean total latency over finished tasks.
+  [[nodiscard]] double mean_latency() const;
+  /// Mean submissions per task.
+  [[nodiscard]] double mean_submissions() const;
+
+ private:
+  void start_task();
+  void run_single_round(std::shared_ptr<TaskOutcome> outcome,
+                        SimTime task_start);
+  void run_multiple_round(std::shared_ptr<TaskOutcome> outcome,
+                          SimTime task_start);
+  void run_delayed(std::shared_ptr<TaskOutcome> outcome, SimTime task_start);
+  void finish_task(const TaskOutcome& outcome);
+
+  GridSimulation& grid_;
+  StrategySpec spec_;
+  std::size_t n_tasks_;
+  double task_runtime_;
+  std::vector<TaskOutcome> outcomes_;
+};
+
+}  // namespace gridsub::sim

@@ -1,0 +1,130 @@
+#include "sim/wms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gridsub::sim {
+
+WorkloadManager::WorkloadManager(Simulator& sim,
+                                 std::vector<ComputingElement*> ces,
+                                 const WmsConfig& config, stats::Rng rng,
+                                 GridMetrics* metrics)
+    : sim_(sim),
+      ces_(std::move(ces)),
+      config_(config),
+      network_(config.network),
+      rng_(rng),
+      metrics_(metrics) {
+  if (ces_.empty()) {
+    throw std::invalid_argument("WorkloadManager: no computing elements");
+  }
+  if (!(config_.info_refresh_period > 0.0)) {
+    throw std::invalid_argument("WorkloadManager: info_refresh_period <= 0");
+  }
+  load_snapshot_.resize(ces_.size(), 0.0);
+  refresh_load_snapshot();
+}
+
+void WorkloadManager::refresh_load_snapshot() {
+  for (std::size_t i = 0; i < ces_.size(); ++i) {
+    load_snapshot_[i] = ces_[i]->load();
+  }
+  sim_.schedule_daemon_in(config_.info_refresh_period,
+                          [this]() { refresh_load_snapshot(); });
+}
+
+std::size_t WorkloadManager::choose_element() {
+  switch (config_.dispatch) {
+    case WmsConfig::Dispatch::kUniformRandom:
+      return static_cast<std::size_t>(rng_.uniform_int(ces_.size()));
+    case WmsConfig::Dispatch::kWeightedRandom: {
+      // Weight ~ 1 / (1 + stale load).
+      double total = 0.0;
+      for (const double l : load_snapshot_) total += 1.0 / (1.0 + l);
+      double u = rng_.uniform(0.0, total);
+      for (std::size_t i = 0; i < ces_.size(); ++i) {
+        u -= 1.0 / (1.0 + load_snapshot_[i]);
+        if (u <= 0.0) return i;
+      }
+      return ces_.size() - 1;
+    }
+    case WmsConfig::Dispatch::kLeastLoaded:
+    default: {
+      // Ties broken randomly so one CE does not absorb all bursts.
+      double best = load_snapshot_[0];
+      for (const double l : load_snapshot_) best = std::min(best, l);
+      std::vector<std::size_t> mins;
+      for (std::size_t i = 0; i < ces_.size(); ++i) {
+        if (load_snapshot_[i] <= best) mins.push_back(i);
+      }
+      return mins[static_cast<std::size_t>(rng_.uniform_int(mins.size()))];
+    }
+  }
+}
+
+WorkloadManager::TicketId WorkloadManager::submit(double runtime,
+                                                  StartCallback on_start) {
+  const TicketId ticket = next_ticket_++;
+  if (metrics_) ++metrics_->jobs_submitted;
+  InFlight state;
+  if (config_.fault_prob > 0.0 && rng_.bernoulli(config_.fault_prob)) {
+    // Lost in the submission chain; only the client timeout notices.
+    state.where = InFlight::Where::kLost;
+    if (metrics_) ++metrics_->jobs_faulted;
+    in_flight_.emplace(ticket, state);
+    return ticket;
+  }
+  const double matchmaking = network_.sample_path_delay(rng_);
+  if (metrics_) metrics_->total_matchmaking += matchmaking;
+  state.where = InFlight::Where::kMatchmaking;
+  state.matchmaking_event = sim_.schedule_in(
+      matchmaking, [this, ticket, runtime, cb = std::move(on_start)]() {
+        dispatch_job(ticket, runtime, cb);
+      });
+  in_flight_.emplace(ticket, state);
+  return ticket;
+}
+
+void WorkloadManager::dispatch_job(TicketId ticket, double runtime,
+                                   StartCallback on_start) {
+  auto it = in_flight_.find(ticket);
+  if (it == in_flight_.end()) return;  // canceled during matchmaking
+  const std::size_t ce_index = choose_element();
+  it->second.where = InFlight::Where::kComputingElement;
+  it->second.ce_index = ce_index;
+  // The CE may start the job synchronously (free slot), which re-enters
+  // this WMS through the start callback and erases the ticket — so the
+  // handle must be written back through a fresh lookup, not `it`.
+  const auto handle = ces_[ce_index]->submit(
+      runtime,
+      [this, ticket, cb = std::move(on_start)]() {
+        // Started: the ticket is finished from the WMS point of view.
+        in_flight_.erase(ticket);
+        if (cb) cb();
+      },
+      nullptr);
+  if (auto live = in_flight_.find(ticket); live != in_flight_.end()) {
+    live->second.ce_handle = handle;
+  }
+}
+
+bool WorkloadManager::cancel(TicketId ticket) {
+  auto it = in_flight_.find(ticket);
+  if (it == in_flight_.end()) return false;
+  if (metrics_) ++metrics_->jobs_canceled;
+  switch (it->second.where) {
+    case InFlight::Where::kMatchmaking:
+      sim_.cancel(it->second.matchmaking_event);
+      break;
+    case InFlight::Where::kComputingElement:
+      ces_[it->second.ce_index]->cancel(it->second.ce_handle);
+      break;
+    case InFlight::Where::kLost:
+      break;
+  }
+  in_flight_.erase(it);
+  return true;
+}
+
+}  // namespace gridsub::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+// Workload Management System: the EGEE meta-scheduler.
+//
+// Receives jobs from user interfaces, spends a match-making delay (network
+// hops + ranking), then dispatches to a computing element. Crucially, the
+// ranking uses *stale* load information — the WMS only refreshes its view
+// of CE queues every `info_refresh_period` seconds, reproducing the paper's
+// observation that meta-schedulers act on partial information and local
+// policies interfere with global objectives.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/computing_element.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace gridsub::sim {
+
+struct WmsConfig {
+  NetworkConfig network;             ///< matchmaking-path delays
+  double info_refresh_period = 120;  ///< staleness of CE load info (s)
+  double fault_prob = 0.01;          ///< jobs lost inside the WMS chain
+  enum class Dispatch {
+    kLeastLoaded,     ///< rank by (stale) load, pick the minimum
+    kUniformRandom,   ///< ignore load entirely
+    kWeightedRandom   ///< sample inversely proportional to (stale) load
+  };
+  Dispatch dispatch = Dispatch::kLeastLoaded;
+};
+
+class WorkloadManager {
+ public:
+  using TicketId = std::uint64_t;
+  using StartCallback = std::function<void()>;
+
+  /// `ces` must stay alive for the WMS lifetime; metrics may be nullptr.
+  WorkloadManager(Simulator& sim, std::vector<ComputingElement*> ces,
+                  const WmsConfig& config, stats::Rng rng,
+                  GridMetrics* metrics = nullptr);
+
+  WorkloadManager(const WorkloadManager&) = delete;
+  WorkloadManager& operator=(const WorkloadManager&) = delete;
+
+  /// Accepts a job; on_start fires when it begins executing on a worker.
+  TicketId submit(double runtime, StartCallback on_start);
+
+  /// Cancels wherever the job currently is (matchmaking or CE).
+  bool cancel(TicketId ticket);
+
+  [[nodiscard]] const std::vector<ComputingElement*>& elements() const {
+    return ces_;
+  }
+
+ private:
+  void refresh_load_snapshot();
+  [[nodiscard]] std::size_t choose_element();
+  void dispatch_job(TicketId ticket, double runtime, StartCallback on_start);
+
+  struct InFlight {
+    enum class Where { kMatchmaking, kComputingElement, kLost } where;
+    EventId matchmaking_event = 0;
+    std::size_t ce_index = 0;
+    ComputingElement::JobHandle ce_handle = 0;
+  };
+
+  Simulator& sim_;
+  std::vector<ComputingElement*> ces_;
+  WmsConfig config_;
+  NetworkModel network_;
+  stats::Rng rng_;
+  GridMetrics* metrics_;
+
+  std::vector<double> load_snapshot_;
+  std::unordered_map<TicketId, InFlight> in_flight_;
+  TicketId next_ticket_ = 1;
+};
+
+}  // namespace gridsub::sim

@@ -1,0 +1,77 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace gridsub::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalDistribution: empty sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = stats::mean(sorted_);
+  variance_ = sorted_.size() >= 2 ? stats::variance(sorted_) : 0.0;
+}
+
+double EmpiricalDistribution::pdf(double x) const {
+  // Local density estimate: mass 1/n spread over the gap between the
+  // neighbouring order statistics around x.
+  if (sorted_.size() < 2) return 0.0;
+  if (x < sorted_.front() || x > sorted_.back()) return 0.0;
+  const auto hi =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto lo = (hi == sorted_.begin()) ? hi : hi - 1;
+  const auto next = (hi == sorted_.end()) ? hi - 1 : hi;
+  const double gap = std::max(*next - *lo, 1e-12);
+  return 1.0 / (static_cast<double>(sorted_.size()) * gap);
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::domain_error("EmpiricalDistribution::quantile: bad p");
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  const double h = p * static_cast<double>(sorted_.size() - 1);
+  const auto i = static_cast<std::size_t>(h);
+  if (i + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = h - static_cast<double>(i);
+  return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
+}
+
+double EmpiricalDistribution::mean() const { return mean_; }
+
+double EmpiricalDistribution::variance() const { return variance_; }
+
+double EmpiricalDistribution::sample(Rng& rng) const {
+  return sorted_[static_cast<std::size_t>(rng.uniform_int(sorted_.size()))];
+}
+
+double EmpiricalDistribution::support_lower() const {
+  return sorted_.front();
+}
+
+double EmpiricalDistribution::support_upper() const { return sorted_.back(); }
+
+std::string EmpiricalDistribution::name() const {
+  std::ostringstream os;
+  os << "Empirical(n=" << sorted_.size() << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> EmpiricalDistribution::clone() const {
+  return std::make_unique<EmpiricalDistribution>(*this);
+}
+
+}  // namespace gridsub::stats

@@ -1,0 +1,55 @@
+#pragma once
+
+// Empirical distribution (ECDF) over a finite sample.
+//
+// This is the paper's estimator: F_R is estimated directly from probe-job
+// latencies (its Figure 1). The ECDF is a right-continuous step function;
+// quantiles use linear interpolation between order statistics, and sampling
+// is bootstrap draw with replacement.
+
+#include <span>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace gridsub::stats {
+
+/// ECDF-backed Distribution. The sample is copied and sorted on
+/// construction; requires a non-empty sample.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  explicit EmpiricalDistribution(std::span<const double> sample);
+
+  /// Step-function density surrogate: histogram-style constant density on
+  /// the gap around x (for plotting; prefer KernelDensity for smooth pdfs).
+  [[nodiscard]] double pdf(double x) const override;
+
+  /// ECDF: (# of samples <= x) / n.
+  [[nodiscard]] double cdf(double x) const override;
+
+  /// Type-7 interpolated quantile.
+  [[nodiscard]] double quantile(double p) const override;
+
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+
+  /// Bootstrap draw: a uniformly random sample point.
+  [[nodiscard]] double sample(Rng& rng) const override;
+
+  [[nodiscard]] double support_lower() const override;
+  [[nodiscard]] double support_upper() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] std::span<const double> sorted_sample() const {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace gridsub::stats

@@ -1,0 +1,45 @@
+#include "stats/exponential.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::stats {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("Exponential: rate <= 0");
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_upper();
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::variance() const { return 1.0 / (rate_ * rate_); }
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "Exponential(rate=" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+}  // namespace gridsub::stats

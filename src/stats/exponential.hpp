@@ -1,0 +1,32 @@
+#pragma once
+
+// Exponential distribution — memoryless baseline. Under an exponential
+// latency law the single-resubmission strategy is provably indifferent to
+// the timeout (the paper's strategies only pay off on heavier tails), which
+// makes it a sharp sanity check used throughout the test suite.
+
+#include "stats/distribution.hpp"
+
+namespace gridsub::stats {
+
+/// Exponential(rate lambda > 0).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace gridsub::stats

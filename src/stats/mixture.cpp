@@ -1,0 +1,109 @@
+#include "stats/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::stats {
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("Mixture: needs >= 1 component");
+  }
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (!(c.weight > 0.0)) {
+      throw std::invalid_argument("Mixture: weights must be > 0");
+    }
+    if (!c.dist) throw std::invalid_argument("Mixture: null component");
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+Mixture::Mixture(const Mixture& other) {
+  components_.reserve(other.components_.size());
+  for (const auto& c : other.components_) {
+    components_.push_back({c.weight, c.dist->clone()});
+  }
+}
+
+Mixture& Mixture::operator=(const Mixture& other) {
+  if (this == &other) return *this;
+  Mixture tmp(other);
+  components_ = std::move(tmp.components_);
+  return *this;
+}
+
+double Mixture::pdf(double x) const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->pdf(x);
+  return v;
+}
+
+double Mixture::cdf(double x) const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->cdf(x);
+  return v;
+}
+
+double Mixture::mean() const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->mean();
+  return v;
+}
+
+double Mixture::variance() const {
+  // var = E[X^2] - mean^2 with E[X^2] = sum w_i (var_i + mean_i^2).
+  double ex2 = 0.0;
+  for (const auto& c : components_) {
+    const double m = c.dist->mean();
+    ex2 += c.weight * (c.dist->variance() + m * m);
+  }
+  const double m = mean();
+  return ex2 - m * m;
+}
+
+double Mixture::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(rng);
+}
+
+double Mixture::support_lower() const {
+  double lo = components_.front().dist->support_lower();
+  for (const auto& c : components_) {
+    lo = std::min(lo, c.dist->support_lower());
+  }
+  return lo;
+}
+
+double Mixture::support_upper() const {
+  double hi = components_.front().dist->support_upper();
+  for (const auto& c : components_) {
+    hi = std::max(hi, c.dist->support_upper());
+  }
+  return hi;
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "Mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << " + ";
+    os << components_[i].weight << "*" << components_[i].dist->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Mixture::clone() const {
+  return std::make_unique<Mixture>(*this);
+}
+
+}  // namespace gridsub::stats

@@ -1,0 +1,61 @@
+#include "stats/pareto.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::stats {
+
+ParetoLomax::ParetoLomax(double alpha, double lambda)
+    : alpha_(alpha), lambda_(lambda) {
+  if (!(alpha > 0.0) || !(lambda > 0.0)) {
+    throw std::invalid_argument("ParetoLomax: alpha and lambda must be > 0");
+  }
+}
+
+double ParetoLomax::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return (alpha_ / lambda_) * std::pow(1.0 + x / lambda_, -alpha_ - 1.0);
+}
+
+double ParetoLomax::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::pow(1.0 + x / lambda_, -alpha_);
+}
+
+double ParetoLomax::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_upper();
+  return lambda_ * (std::pow(1.0 - p, -1.0 / alpha_) - 1.0);
+}
+
+double ParetoLomax::mean() const {
+  if (alpha_ <= 1.0) {
+    throw std::domain_error("ParetoLomax::mean: infinite for alpha <= 1");
+  }
+  return lambda_ / (alpha_ - 1.0);
+}
+
+double ParetoLomax::variance() const {
+  if (alpha_ <= 2.0) {
+    throw std::domain_error("ParetoLomax::variance: infinite for alpha <= 2");
+  }
+  return lambda_ * lambda_ * alpha_ /
+         ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+double ParetoLomax::sample(Rng& rng) const {
+  return lambda_ * (std::pow(rng.uniform01(), -1.0 / alpha_) - 1.0);
+}
+
+std::string ParetoLomax::name() const {
+  std::ostringstream os;
+  os << "ParetoLomax(alpha=" << alpha_ << ",lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> ParetoLomax::clone() const {
+  return std::make_unique<ParetoLomax>(*this);
+}
+
+}  // namespace gridsub::stats

@@ -1,0 +1,35 @@
+#pragma once
+
+// Pareto type II (Lomax) distribution — a pure power-law tail anchored at
+// zero. Mixed with a log-normal bulk it reproduces the "heavy-tailed with
+// occasional extreme queueing delay" shape reported for EGEE latencies.
+
+#include "stats/distribution.hpp"
+
+namespace gridsub::stats {
+
+/// Lomax(alpha, lambda): survival (1 + x/lambda)^(-alpha), alpha,lambda > 0.
+class ParetoLomax final : public Distribution {
+ public:
+  ParetoLomax(double alpha, double lambda);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  /// Mean is finite only for alpha > 1 (throws std::domain_error otherwise).
+  [[nodiscard]] double mean() const override;
+  /// Variance is finite only for alpha > 2 (throws otherwise).
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double alpha_;
+  double lambda_;
+};
+
+}  // namespace gridsub::stats

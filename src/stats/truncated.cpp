@@ -1,0 +1,87 @@
+#include "stats/truncated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "numerics/integration.hpp"
+
+namespace gridsub::stats {
+
+Truncated::Truncated(DistributionPtr inner, double lo, double hi)
+    : inner_(std::move(inner)), lo_(lo), hi_(hi) {
+  if (!inner_) throw std::invalid_argument("Truncated: null inner");
+  if (!(hi > lo)) throw std::invalid_argument("Truncated: requires hi > lo");
+  cdf_lo_ = inner_->cdf(lo_);
+  mass_ = inner_->cdf(hi_) - cdf_lo_;
+  if (!(mass_ > 0.0)) {
+    throw std::invalid_argument("Truncated: zero mass on [lo, hi]");
+  }
+}
+
+Truncated::Truncated(const Truncated& other)
+    : inner_(other.inner_->clone()),
+      lo_(other.lo_),
+      hi_(other.hi_),
+      cdf_lo_(other.cdf_lo_),
+      mass_(other.mass_) {}
+
+Truncated& Truncated::operator=(const Truncated& other) {
+  if (this == &other) return *this;
+  inner_ = other.inner_->clone();
+  lo_ = other.lo_;
+  hi_ = other.hi_;
+  cdf_lo_ = other.cdf_lo_;
+  mass_ = other.mass_;
+  return *this;
+}
+
+double Truncated::pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return inner_->pdf(x) / mass_;
+}
+
+double Truncated::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (inner_->cdf(x) - cdf_lo_) / mass_;
+}
+
+double Truncated::quantile(double p) const {
+  if (p <= 0.0) return lo_;
+  if (p >= 1.0) return hi_;
+  const double q = inner_->quantile(cdf_lo_ + p * mass_);
+  return std::clamp(q, lo_, hi_);
+}
+
+double Truncated::mean() const {
+  const auto f = [this](double x) { return x * pdf(x); };
+  return numerics::adaptive_simpson(f, lo_, hi_, 1e-8);
+}
+
+double Truncated::variance() const {
+  const double m = mean();
+  const auto f = [this, m](double x) {
+    const double d = x - m;
+    return d * d * pdf(x);
+  };
+  return numerics::adaptive_simpson(f, lo_, hi_, 1e-8);
+}
+
+double Truncated::sample(Rng& rng) const {
+  // Inverse transform through the inner quantile restricted to the band.
+  return quantile(rng.uniform01());
+}
+
+std::string Truncated::name() const {
+  std::ostringstream os;
+  os << "Truncated(" << inner_->name() << ",[" << lo_ << "," << hi_ << "])";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> Truncated::clone() const {
+  return std::make_unique<Truncated>(*this);
+}
+
+}  // namespace gridsub::stats

@@ -1,0 +1,49 @@
+#pragma once
+
+// Truncation wrapper: X conditioned on lo <= X <= hi.
+//
+// The paper's probe campaign cancels jobs at a 10,000 s timeout; the
+// observable latency distribution is therefore the bulk law conditioned to
+// [0, 10^4]. This wrapper expresses that conditioning exactly (cdf, pdf,
+// quantile, inverse-transform sampling) and computes moments numerically.
+
+#include "stats/distribution.hpp"
+
+namespace gridsub::stats {
+
+/// Truncated(inner, lo, hi): inner conditioned on [lo, hi]. Requires
+/// lo < hi and P(lo <= X <= hi) > 0.
+class Truncated final : public Distribution {
+ public:
+  Truncated(DistributionPtr inner, double lo, double hi);
+
+  Truncated(const Truncated& other);
+  Truncated& operator=(const Truncated& other);
+  Truncated(Truncated&&) noexcept = default;
+  Truncated& operator=(Truncated&&) noexcept = default;
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  /// Computed by adaptive quadrature over [lo, hi].
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double support_lower() const override { return lo_; }
+  [[nodiscard]] double support_upper() const override { return hi_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+  [[nodiscard]] const Distribution& inner() const { return *inner_; }
+  /// Probability mass the inner law places on [lo, hi].
+  [[nodiscard]] double inner_mass() const { return mass_; }
+
+ private:
+  DistributionPtr inner_;
+  double lo_;
+  double hi_;
+  double cdf_lo_;
+  double mass_;
+};
+
+}  // namespace gridsub::stats

@@ -1,0 +1,47 @@
+#include "stats/uniform.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::stats {
+
+UniformDist::UniformDist(double a, double b) : a_(a), b_(b) {
+  if (!(b > a)) throw std::invalid_argument("UniformDist: requires b > a");
+}
+
+double UniformDist::pdf(double x) const {
+  return (x >= a_ && x <= b_) ? 1.0 / (b_ - a_) : 0.0;
+}
+
+double UniformDist::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= b_) return 1.0;
+  return (x - a_) / (b_ - a_);
+}
+
+double UniformDist::quantile(double p) const {
+  if (p <= 0.0) return a_;
+  if (p >= 1.0) return b_;
+  return a_ + p * (b_ - a_);
+}
+
+double UniformDist::mean() const { return 0.5 * (a_ + b_); }
+
+double UniformDist::variance() const {
+  const double w = b_ - a_;
+  return w * w / 12.0;
+}
+
+double UniformDist::sample(Rng& rng) const { return rng.uniform(a_, b_); }
+
+std::string UniformDist::name() const {
+  std::ostringstream os;
+  os << "Uniform(" << a_ << "," << b_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> UniformDist::clone() const {
+  return std::make_unique<UniformDist>(*this);
+}
+
+}  // namespace gridsub::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+// Uniform distribution on [a, b] — used for jittered submission offsets in
+// the simulator and as the simplest case in property tests.
+
+#include "stats/distribution.hpp"
+
+namespace gridsub::stats {
+
+/// Uniform(a, b) with b > a.
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double a, double b);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double support_lower() const override { return a_; }
+  [[nodiscard]] double support_upper() const override { return b_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace gridsub::stats

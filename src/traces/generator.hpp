@@ -1,0 +1,46 @@
+#pragma once
+
+// Probe-campaign generator.
+//
+// Reproduces the paper's measurement methodology (§3.2): a constant number
+// of probe jobs is kept in flight — each time a probe completes (or is
+// canceled at the timeout) a new one is submitted — so monitoring does not
+// modulate the system load. Latencies are drawn from a latency bulk
+// distribution; a fault ratio injects outright failures. The result is a
+// Trace with realistic submission timestamps.
+
+#include <cstdint>
+#include <string>
+
+#include "stats/distribution.hpp"
+#include "traces/trace.hpp"
+
+namespace gridsub::traces {
+
+/// Parameters of a synthetic probe campaign.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  std::size_t n_probes = 1000;      ///< total probes to log
+  std::size_t concurrent_probes = 10;  ///< constant in-flight count
+  double timeout = 10000.0;         ///< cancellation threshold (outliers)
+  double fault_ratio = 0.0;         ///< P(outright failure) per probe
+  std::uint64_t seed = 1;           ///< RNG seed
+};
+
+/// Runs the campaign: draws each probe's latency from `bulk` (a fault with
+/// probability fault_ratio, an outlier if the draw exceeds the timeout) and
+/// schedules submissions so `concurrent_probes` are always in flight.
+Trace generate_probe_campaign(const stats::Distribution& bulk,
+                              const GeneratorConfig& config);
+
+/// Affine-corrects the completed latencies of `trace` so their *sample*
+/// mean and standard deviation equal the targets (the paper's Table 1
+/// columns are sample statistics of the real traces, so exact-match is the
+/// faithful reproduction). Values are clamped into [floor, trace.timeout)
+/// and the correction is iterated until clamping-induced drift is below
+/// 0.1%. Record order, submit times and statuses are preserved.
+/// Requires at least two completed probes and positive targets.
+Trace match_sample_moments(const Trace& trace, double target_mean,
+                           double target_stddev, double floor = 1.0);
+
+}  // namespace gridsub::traces

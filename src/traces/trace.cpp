@@ -1,0 +1,86 @@
+#include "traces/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/kahan.hpp"
+#include "stats/summary.hpp"
+
+namespace gridsub::traces {
+
+Trace::Trace(std::string name, double timeout)
+    : name_(std::move(name)), timeout_(timeout) {
+  if (!(timeout > 0.0)) throw std::invalid_argument("Trace: timeout <= 0");
+}
+
+void Trace::add_completed(double submit_time, double latency) {
+  if (latency < 0.0) {
+    throw std::invalid_argument("Trace::add_completed: negative latency");
+  }
+  if (latency > timeout_) {
+    throw std::invalid_argument(
+        "Trace::add_completed: latency exceeds the campaign timeout; record "
+        "it as an outlier instead");
+  }
+  records_.push_back({submit_time, latency, ProbeStatus::kCompleted});
+}
+
+void Trace::add_outlier(double submit_time) {
+  records_.push_back({submit_time, timeout_, ProbeStatus::kOutlier});
+}
+
+void Trace::add_fault(double submit_time) {
+  records_.push_back({submit_time, timeout_, ProbeStatus::kFault});
+}
+
+void Trace::add_record(const ProbeRecord& record) {
+  records_.push_back(record);
+}
+
+void Trace::append(const Trace& other) {
+  if (other.timeout_ != timeout_) {
+    throw std::invalid_argument("Trace::append: timeout mismatch");
+  }
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+std::vector<double> Trace::completed_latencies() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (r.status == ProbeStatus::kCompleted) out.push_back(r.latency);
+  }
+  return out;
+}
+
+std::size_t Trace::count(ProbeStatus status) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.status == status) ++n;
+  }
+  return n;
+}
+
+TraceStats Trace::stats() const {
+  const auto lat = completed_latencies();
+  if (lat.empty()) {
+    throw std::logic_error("Trace::stats: no completed probes");
+  }
+  TraceStats s;
+  s.total = records_.size();
+  s.completed = lat.size();
+  s.outlier_ratio =
+      1.0 - static_cast<double>(s.completed) / static_cast<double>(s.total);
+  s.mean_completed = stats::mean(lat);
+  s.stddev_completed = lat.size() >= 2 ? stats::stddev(lat) : 0.0;
+  // Censored lower bound: every outlier/fault counted at the timeout value.
+  numerics::KahanAccumulator acc;
+  for (const auto& r : records_) {
+    acc.add(r.status == ProbeStatus::kCompleted ? r.latency : timeout_);
+  }
+  s.censored_mean = acc.value() / static_cast<double>(s.total);
+  return s;
+}
+
+}  // namespace gridsub::traces

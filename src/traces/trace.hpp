@@ -1,0 +1,88 @@
+#pragma once
+
+// Probe-job traces.
+//
+// The paper's reference data is a set of probe-job campaigns on the EGEE
+// biomed VO: each probe is a ~zero-duration job whose measured round-trip
+// is pure grid latency; probes exceeding a 10,000 s timeout are canceled
+// and recorded as outliers (faults land in the same bucket). A Trace is an
+// ordered log of such probes plus the campaign timeout, and computes the
+// Table 1 statistics.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridsub::traces {
+
+/// Terminal state of one probe job.
+enum class ProbeStatus {
+  kCompleted,  ///< started execution before the campaign timeout
+  kOutlier,    ///< exceeded the timeout and was canceled
+  kFault       ///< failed outright (middleware error, lost job, ...)
+};
+
+/// One probe-job record. For kCompleted probes `latency` is the measured
+/// submission-to-running duration; for kOutlier/kFault it is meaningless
+/// and stored as the campaign timeout for bookkeeping.
+struct ProbeRecord {
+  double submit_time = 0.0;
+  double latency = 0.0;
+  ProbeStatus status = ProbeStatus::kCompleted;
+};
+
+/// Statistics mirroring the paper's Table 1 columns.
+struct TraceStats {
+  std::size_t total = 0;          ///< all probes, including outliers/faults
+  std::size_t completed = 0;      ///< probes with measured latency
+  double outlier_ratio = 0.0;     ///< rho = 1 - completed/total
+  double mean_completed = 0.0;    ///< "mean < 10^5" column
+  double stddev_completed = 0.0;  ///< sigma_R column
+  double censored_mean = 0.0;     ///< "mean with 10^5": outliers count as
+                                  ///< the timeout value (lower bound)
+};
+
+/// Ordered log of probe jobs with the campaign outlier timeout.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, double timeout);
+
+  /// Appends a completed probe with measured latency (>= 0).
+  void add_completed(double submit_time, double latency);
+  /// Appends an outlier (canceled at the timeout).
+  void add_outlier(double submit_time);
+  /// Appends a fault.
+  void add_fault(double submit_time);
+  /// Appends a raw record (used by the CSV reader).
+  void add_record(const ProbeRecord& record);
+
+  /// Concatenates another trace (e.g. the weekly sets into the 2007/08
+  /// union). Timeouts must match.
+  void append(const Trace& other);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] double timeout() const { return timeout_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::span<const ProbeRecord> records() const {
+    return records_;
+  }
+
+  /// Latencies of completed probes, in submission order.
+  [[nodiscard]] std::vector<double> completed_latencies() const;
+
+  /// Number of probes with the given status.
+  [[nodiscard]] std::size_t count(ProbeStatus status) const;
+
+  /// Table 1 statistics; requires at least one completed probe.
+  [[nodiscard]] TraceStats stats() const;
+
+ private:
+  std::string name_;
+  double timeout_ = 10000.0;
+  std::vector<ProbeRecord> records_;
+};
+
+}  // namespace gridsub::traces

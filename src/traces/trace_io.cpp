@@ -1,0 +1,102 @@
+#include "traces/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsub::traces {
+
+namespace {
+
+const char* status_label(ProbeStatus s) {
+  switch (s) {
+    case ProbeStatus::kCompleted:
+      return "completed";
+    case ProbeStatus::kOutlier:
+      return "outlier";
+    case ProbeStatus::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+ProbeStatus parse_status(const std::string& s) {
+  if (s == "completed") return ProbeStatus::kCompleted;
+  if (s == "outlier") return ProbeStatus::kOutlier;
+  if (s == "fault") return ProbeStatus::kFault;
+  throw std::runtime_error("trace csv: unknown status '" + s + "'");
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const Trace& trace) {
+  os << "# name=" << trace.name() << "\n";
+  os << "# timeout=" << trace.timeout() << "\n";
+  os << "submit_time,latency,status\n";
+  for (const auto& r : trace.records()) {
+    os << r.submit_time << ',' << r.latency << ',' << status_label(r.status)
+       << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(os, trace);
+}
+
+Trace read_csv(std::istream& is) {
+  std::string name = "unnamed";
+  double timeout = 10000.0;
+  std::string line;
+  bool header_seen = false;
+  std::vector<ProbeRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        std::string key = line.substr(1, eq - 1);
+        key.erase(0, key.find_first_not_of(' '));
+        key.erase(key.find_last_not_of(' ') + 1);
+        const std::string value = line.substr(eq + 1);
+        if (key == "name") {
+          name = value;
+        } else if (key == "timeout") {
+          timeout = std::stod(value);
+        }
+      }
+      continue;
+    }
+    if (!header_seen) {
+      if (line.rfind("submit_time", 0) != 0) {
+        throw std::runtime_error("trace csv: missing header line");
+      }
+      header_seen = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string submit_str, latency_str, status_str;
+    if (!std::getline(ls, submit_str, ',') ||
+        !std::getline(ls, latency_str, ',') ||
+        !std::getline(ls, status_str)) {
+      throw std::runtime_error("trace csv: malformed line '" + line + "'");
+    }
+    ProbeRecord r;
+    r.submit_time = std::stod(submit_str);
+    r.latency = std::stod(latency_str);
+    r.status = parse_status(status_str);
+    records.push_back(r);
+  }
+  Trace trace(name, timeout);
+  for (const auto& r : records) trace.add_record(r);
+  return trace;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(is);
+}
+
+}  // namespace gridsub::traces

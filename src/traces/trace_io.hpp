@@ -1,0 +1,26 @@
+#pragma once
+
+// CSV persistence for probe traces.
+//
+// Format (one header line, then one line per probe):
+//   submit_time,latency,status
+// with status one of completed|outlier|fault. The trace name and timeout
+// travel in '#'-prefixed comment lines so a file round-trips losslessly.
+
+#include <iosfwd>
+#include <string>
+
+#include "traces/trace.hpp"
+
+namespace gridsub::traces {
+
+/// Writes a trace as CSV (with #name/#timeout header comments).
+void write_csv(std::ostream& os, const Trace& trace);
+void write_csv_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace written by write_csv. Throws std::runtime_error on
+/// malformed input.
+Trace read_csv(std::istream& is);
+Trace read_csv_file(const std::string& path);
+
+}  // namespace gridsub::traces

@@ -1,0 +1,62 @@
+#pragma once
+
+// Grid-application models (paper §8's future work).
+//
+// The applications that motivate the paper — medical image analysis and
+// virtual screening on the biomed VO — are bags of independent tasks, often
+// chained into stages with a barrier between them (registration -> analysis
+// -> statistics). Each task needs one grid job whose start is delayed by
+// the strategy-dependent total latency J; the paper assumes task runtimes
+// are known (§3.2). These types describe such applications for the
+// makespan model.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace gridsub::workflow {
+
+/// A bag of independent tasks, all submitted at the same instant to be run
+/// fully in parallel (the grid has far more slots than any one user's bag).
+struct BagOfTasks {
+  std::size_t n_tasks = 1;  ///< number of independent tasks
+  double runtime = 0.0;     ///< known per-task execution time (seconds)
+};
+
+/// Stages executed in sequence with a barrier: stage i+1 starts only when
+/// every task of stage i has finished.
+using WorkflowChain = std::vector<BagOfTasks>;
+
+/// Throws std::invalid_argument on empty bags or negative runtimes.
+inline void validate(const BagOfTasks& bag) {
+  if (bag.n_tasks == 0) {
+    throw std::invalid_argument("BagOfTasks: n_tasks == 0");
+  }
+  if (bag.runtime < 0.0) {
+    throw std::invalid_argument("BagOfTasks: runtime < 0");
+  }
+}
+
+inline void validate(const WorkflowChain& chain) {
+  if (chain.empty()) {
+    throw std::invalid_argument("WorkflowChain: no stages");
+  }
+  for (const BagOfTasks& stage : chain) validate(stage);
+}
+
+/// Total task count across stages.
+[[nodiscard]] inline std::size_t total_tasks(const WorkflowChain& chain) {
+  std::size_t n = 0;
+  for (const BagOfTasks& stage : chain) n += stage.n_tasks;
+  return n;
+}
+
+/// Lower bound on the chain makespan: the pure computation time that would
+/// remain on a zero-latency, infinitely reliable grid.
+[[nodiscard]] inline double compute_floor(const WorkflowChain& chain) {
+  double total = 0.0;
+  for (const BagOfTasks& stage : chain) total += stage.runtime;
+  return total;
+}
+
+}  // namespace gridsub::workflow

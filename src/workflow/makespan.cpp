@@ -1,0 +1,102 @@
+#include "workflow/makespan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "numerics/kahan.hpp"
+
+namespace gridsub::workflow {
+
+MakespanModel::MakespanModel(core::TotalLatencyDistribution dist)
+    : dist_(std::move(dist)) {}
+
+double MakespanModel::expected_max_latency(std::size_t n) const {
+  if (n == 0) {
+    throw std::invalid_argument("expected_max_latency: n == 0");
+  }
+  if (n == 1) return dist_.expectation();
+  const double nd = static_cast<double>(n);
+  // ∫ (1 - (1-S)^n) dt by trapezoid on the model grid step; the integrand
+  // is bounded by min(1, n·S) and S decays geometrically per round, so the
+  // cut at n·S < 1e-12 terminates after O(log n) rounds.
+  const double h = dist_.latency_model().step();
+  numerics::KahanAccumulator acc;
+  double t = 0.0;
+  double prev = 1.0;  // integrand at t = 0 (S(0) = 1)
+  for (;;) {
+    t += h;
+    const double s = dist_.survival(t);
+    const double integrand =
+        s > 1e-8 ? 1.0 - std::pow(1.0 - s, nd)
+                 : -std::expm1(nd * std::log1p(-s));
+    acc.add(0.5 * h * (prev + integrand));
+    prev = integrand;
+    if (nd * s < 1e-12) break;
+  }
+  return acc.value();
+}
+
+double MakespanModel::max_latency_quantile(std::size_t n, double p) const {
+  if (n == 0) {
+    throw std::invalid_argument("max_latency_quantile: n == 0");
+  }
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument("max_latency_quantile: p outside [0, 1)");
+  }
+  if (p == 0.0) return 0.0;
+  // P(max <= t) = F(t)^n  =>  Q_max(p) = Q_J(p^{1/n}).
+  return dist_.quantile(std::pow(p, 1.0 / static_cast<double>(n)));
+}
+
+MakespanEstimate MakespanModel::estimate(const BagOfTasks& bag) const {
+  validate(bag);
+  MakespanEstimate e;
+  e.expectation = expected_max_latency(bag.n_tasks) + bag.runtime;
+  e.median = max_latency_quantile(bag.n_tasks, 0.5) + bag.runtime;
+  e.p95 = max_latency_quantile(bag.n_tasks, 0.95) + bag.runtime;
+  e.p99 = max_latency_quantile(bag.n_tasks, 0.99) + bag.runtime;
+  const double n = static_cast<double>(bag.n_tasks);
+  e.job_seconds = n * (dist_.expected_job_seconds() + bag.runtime);
+  return e;
+}
+
+double MakespanModel::expected_chain_makespan(
+    const WorkflowChain& chain) const {
+  validate(chain);
+  double total = 0.0;
+  for (const BagOfTasks& stage : chain) {
+    total += expected_max_latency(stage.n_tasks) + stage.runtime;
+  }
+  return total;
+}
+
+MakespanMcResult MakespanModel::simulate(const BagOfTasks& bag,
+                                         std::size_t replications,
+                                         std::uint64_t seed) const {
+  validate(bag);
+  if (replications == 0) {
+    throw std::invalid_argument("MakespanModel::simulate: replications == 0");
+  }
+  stats::Rng rng(seed);
+  numerics::KahanAccumulator sum, sum_sq;
+  for (std::size_t r = 0; r < replications; ++r) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < bag.n_tasks; ++i) {
+      worst = std::max(worst, dist_.sample(rng));
+    }
+    const double makespan = worst + bag.runtime;
+    sum.add(makespan);
+    sum_sq.add(makespan * makespan);
+  }
+  MakespanMcResult res;
+  res.replications = replications;
+  const double n = static_cast<double>(replications);
+  res.mean = sum.value() / n;
+  res.std_dev = std::sqrt(
+      std::max(0.0, sum_sq.value() / n - res.mean * res.mean));
+  return res;
+}
+
+}  // namespace gridsub::workflow

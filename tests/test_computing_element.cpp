@@ -1,0 +1,114 @@
+#include "sim/computing_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsub::sim {
+namespace {
+
+TEST(ComputingElement, RunsJobsUpToSlotCount) {
+  Simulator sim;
+  GridMetrics metrics;
+  ComputingElement ce(sim, "ce", 2, 0.0, stats::Rng(1), &metrics);
+  std::vector<double> starts;
+  for (int i = 0; i < 4; ++i) {
+    ce.submit(100.0, [&] { starts.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(starts.size(), 4u);
+  // Two start immediately, the next two when slots free at t = 100.
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(starts[1], 0.0);
+  EXPECT_DOUBLE_EQ(starts[2], 100.0);
+  EXPECT_DOUBLE_EQ(starts[3], 100.0);
+  EXPECT_EQ(metrics.jobs_started, 4u);
+  EXPECT_EQ(metrics.jobs_completed, 4u);
+}
+
+TEST(ComputingElement, FifoOrderWithinQueue) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    ce.submit(10.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ComputingElement, CancelQueuedJobNeverStarts) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  int started = 0;
+  ce.submit(50.0, [&] { ++started; });
+  const auto h = ce.submit(50.0, [&] { ++started; });
+  EXPECT_TRUE(ce.cancel(h));
+  sim.run();
+  EXPECT_EQ(started, 1);
+}
+
+TEST(ComputingElement, CancelRunningJobFreesSlot) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  std::vector<double> starts;
+  const auto h = ce.submit(1000.0, [&] { starts.push_back(sim.now()); });
+  ce.submit(10.0, [&] { starts.push_back(sim.now()); });
+  sim.schedule_at(100.0, [&] { EXPECT_TRUE(ce.cancel(h)); });
+  sim.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(starts[1], 100.0);  // starts when the cancel frees it
+}
+
+TEST(ComputingElement, CancelUnknownHandleReturnsFalse) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  EXPECT_FALSE(ce.cancel(42));
+}
+
+TEST(ComputingElement, FaultedJobsVanishSilently) {
+  Simulator sim;
+  GridMetrics metrics;
+  ComputingElement ce(sim, "ce", 4, 1.0, stats::Rng(1), &metrics);
+  int started = 0;
+  ce.submit(10.0, [&] { ++started; });
+  sim.run();
+  EXPECT_EQ(started, 0);
+  EXPECT_EQ(metrics.jobs_faulted, 1u);
+}
+
+TEST(ComputingElement, LoadReflectsQueueAndRunning) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 2, 0.0, stats::Rng(1));
+  EXPECT_DOUBLE_EQ(ce.load(), 0.0);
+  ce.submit(100.0, nullptr);
+  ce.submit(100.0, nullptr);
+  ce.submit(100.0, nullptr);  // queued
+  EXPECT_DOUBLE_EQ(ce.load(), 1.5);
+  EXPECT_EQ(ce.running(), 2);
+  EXPECT_EQ(ce.queue_length(), 1u);
+  sim.run();
+  EXPECT_DOUBLE_EQ(ce.load(), 0.0);
+}
+
+TEST(ComputingElement, QueueWaitIsAccounted) {
+  Simulator sim;
+  GridMetrics metrics;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1), &metrics);
+  ce.submit(100.0, nullptr);
+  ce.submit(10.0, nullptr);  // waits 100 s
+  sim.run();
+  EXPECT_DOUBLE_EQ(metrics.total_queue_wait, 100.0);
+}
+
+TEST(ComputingElement, RejectsBadConstruction) {
+  Simulator sim;
+  EXPECT_THROW(ComputingElement(sim, "x", 0, 0.0, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ComputingElement(sim, "x", 1, 1.5, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::sim

@@ -1,0 +1,245 @@
+// Delayed-resubmission strategy (paper §6).
+
+#include "core/delayed_resubmission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/single_resubmission.hpp"
+#include "test_util.hpp"
+
+namespace gridsub::core {
+namespace {
+
+model::DiscretizedLatencyModel shared_model() {
+  static const auto m =
+      testutil::discretize(testutil::make_heavy_model(0.05, 4000.0), 1.0);
+  return m;
+}
+
+TEST(DelayedResubmission, FeasibilityTriangle) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  EXPECT_TRUE(d.feasible(300.0, 450.0));
+  EXPECT_TRUE(d.feasible(300.0, 600.0));   // t_inf == 2*t0 boundary
+  EXPECT_FALSE(d.feasible(300.0, 601.0));  // beyond two copies
+  EXPECT_FALSE(d.feasible(300.0, 300.0));  // t_inf must exceed t0
+  EXPECT_FALSE(d.feasible(0.0, 100.0));
+  EXPECT_FALSE(d.feasible(3000.0, 4500.0));  // t_inf beyond horizon
+}
+
+TEST(DelayedResubmission, InfeasibleEvaluatesToInfinity) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  EXPECT_TRUE(std::isinf(d.expectation(300.0, 700.0)));
+  EXPECT_TRUE(std::isinf(d.expectation(-1.0, 100.0)));
+}
+
+TEST(DelayedResubmission, DegeneratesToSingleResubmissionAtT0EqualTinf) {
+  // As t0 -> t_inf the copy is submitted exactly when the original is
+  // canceled: plain single resubmission.
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const SingleResubmission s(m);
+  const double t_inf = 800.0;
+  EXPECT_NEAR(d.expectation(t_inf - 1e-3, t_inf), s.expectation(t_inf),
+              0.5);
+}
+
+TEST(DelayedResubmission, EarlierCopyNeverHurts) {
+  // For fixed t_inf, adding the staggered copy earlier (smaller t0) can
+  // only reduce E_J: the copy is an extra independent chance.
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t_inf = 800.0;
+  double prev = 1e300;
+  for (double t0 : {799.0, 700.0, 600.0, 500.0, 400.0}) {
+    const double ej = d.expectation(t0, t_inf);
+    EXPECT_LE(ej, prev + 1e-6) << "t0=" << t0;
+    prev = ej;
+  }
+}
+
+TEST(DelayedResubmission, BeatsSingleAtItsOptimum) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const SingleResubmission s(m);
+  const auto dopt = d.optimize();
+  const auto sopt = s.optimize();
+  EXPECT_LT(dopt.metrics.expectation, sopt.metrics.expectation);
+}
+
+TEST(DelayedResubmission, SurvivalIsAValidTailFunction) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 400.0, t_inf = 700.0;
+  EXPECT_DOUBLE_EQ(d.survival(0.0, t0, t_inf), 1.0);
+  double prev = 1.0;
+  for (double t = 10.0; t < 6000.0; t += 10.0) {
+    const double s = d.survival(t, t0, t_inf);
+    EXPECT_LE(s, prev + 1e-12);
+    EXPECT_GE(s, 0.0);
+    prev = s;
+  }
+  EXPECT_LT(d.survival(50000.0, t0, t_inf), 1e-6);
+}
+
+TEST(DelayedResubmission, ExpectationIsIntegralOfSurvival) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 350.0, t_inf = 650.0;
+  double acc = 0.0;
+  const double h = 0.5;
+  for (double t = 0.5 * h; t < 60000.0; t += h) {
+    const double s = d.survival(t, t0, t_inf);
+    acc += s * h;
+    if (s < 1e-12) break;
+  }
+  EXPECT_NEAR(d.expectation(t0, t_inf), acc, 1.0);
+}
+
+TEST(DelayedResubmission, SecondMomentMatchesSurvivalIntegral) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 350.0, t_inf = 650.0;
+  double acc = 0.0;
+  const double h = 0.5;
+  for (double t = 0.5 * h; t < 80000.0; t += h) {
+    const double s = d.survival(t, t0, t_inf);
+    acc += 2.0 * t * s * h;
+    if (s < 1e-13 && t > 5000.0) break;
+  }
+  EXPECT_NEAR(d.second_moment(t0, t_inf), acc,
+              0.005 * d.second_moment(t0, t_inf));
+}
+
+TEST(DelayedResubmission, PaperEq5AgreesWhenOverlapWindowIsEmptyOfMass) {
+  // When F̃(t_inf - t0) == 0 the overlap terms of eq. 5 vanish and the
+  // printed formula agrees with the survival form (see DESIGN.md; the
+  // heavy model has a 60 s latency floor).
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 600.0, t_inf = 650.0;  // overlap window = 50 s < floor
+  ASSERT_DOUBLE_EQ(m.ftilde(t_inf - t0), 0.0);
+  EXPECT_NEAR(d.expectation_paper_eq5(t0, t_inf), d.expectation(t0, t_inf),
+              0.01 * d.expectation(t0, t_inf));
+}
+
+TEST(DelayedResubmission, PaperEq5DisagreesOnceOverlapHasMass) {
+  // Documented deviation: with mass in the overlap window the printed
+  // eq. 5 over-estimates E_J (Monte Carlo sides with the survival form;
+  // see test_mc_validation.cpp).
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 300.0, t_inf = 580.0;  // overlap window = 280 s
+  ASSERT_GT(m.ftilde(t_inf - t0), 0.01);
+  const double eq5 = d.expectation_paper_eq5(t0, t_inf);
+  const double survival_form = d.expectation(t0, t_inf);
+  EXPECT_GT(eq5, survival_form * 1.02);
+}
+
+TEST(DelayedResubmission, ParallelJobsFormulaMatchesPaperCases) {
+  // n = 1, l < t_inf:         N = 2 - t0/l.
+  EXPECT_NEAR(DelayedResubmission::parallel_jobs_at(432.0, 354.0, 496.0),
+              2.0 - 354.0 / 432.0, 1e-12);
+  // n = 1, l >= t_inf:        N = (t0 + 2(t_inf - t0) + (l - t_inf)) / l.
+  EXPECT_NEAR(DelayedResubmission::parallel_jobs_at(444.0, 272.0, 435.0),
+              (272.0 + 2.0 * (435.0 - 272.0) + (444.0 - 435.0)) / 444.0,
+              1e-12);
+  // n = 2 in I0:              N = (t0 + t_inf + 2(l - 2 t0)) / l.
+  EXPECT_NEAR(DelayedResubmission::parallel_jobs_at(466.0, 224.0, 425.0),
+              (224.0 + 425.0 + 2.0 * (466.0 - 448.0)) / 466.0, 1e-12);
+}
+
+TEST(DelayedResubmission, ParallelJobsBoundsAndAsymptote) {
+  const double t0 = 300.0, t_inf = 500.0;
+  // N(l <= t0) == 1 (only one copy ever existed).
+  EXPECT_DOUBLE_EQ(DelayedResubmission::parallel_jobs_at(200.0, t0, t_inf),
+                   1.0);
+  // Asymptote: N -> t_inf / t0 as l grows.
+  EXPECT_NEAR(DelayedResubmission::parallel_jobs_at(1e7, t0, t_inf),
+              t_inf / t0, 1e-3);
+  // Global bounds 1 <= N <= 2.
+  for (double l : {10.0, 400.0, 650.0, 1000.0, 5000.0}) {
+    const double n = DelayedResubmission::parallel_jobs_at(l, t0, t_inf);
+    EXPECT_GE(n, 1.0 - 1e-12);
+    EXPECT_LE(n, 2.0);
+  }
+}
+
+TEST(DelayedResubmission, ExpectedSubmissionsAtLeastOne) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double subs = d.expected_submissions(400.0, 700.0);
+  EXPECT_GE(subs, 1.0);
+  // With a small t0, more copies are submitted on average.
+  EXPECT_GT(d.expected_submissions(150.0, 290.0), subs * 0.9);
+}
+
+TEST(DelayedResubmission, OptimizeStaysFeasible) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const auto opt = d.optimize();
+  EXPECT_TRUE(d.feasible(opt.t0, opt.t_inf));
+  EXPECT_TRUE(std::isfinite(opt.metrics.expectation));
+  EXPECT_GE(opt.n_parallel, 1.0 - 1e-9);
+  EXPECT_LE(opt.n_parallel, 2.0);
+}
+
+TEST(DelayedResubmission, RatioConstrainedOptimumIsNoBetterThanGlobal) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const auto global = d.optimize();
+  for (double ratio : {1.1, 1.3, 1.5, 1.8}) {
+    const auto r = d.optimize_with_ratio(ratio);
+    EXPECT_GE(r.metrics.expectation,
+              global.metrics.expectation - 1.0)
+        << "ratio=" << ratio;
+    EXPECT_NEAR(r.t_inf / r.t0, ratio, 1e-6);
+  }
+}
+
+TEST(DelayedResubmission, OptimizeWithRatioRejectsBadRatio) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  EXPECT_THROW((void)d.optimize_with_ratio(1.0), std::invalid_argument);
+  EXPECT_THROW((void)d.optimize_with_ratio(2.5), std::invalid_argument);
+}
+
+TEST(DelayedResubmission, ExpectedParallelJobsBetween1AndRatio) {
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  const double t0 = 300.0, t_inf = 540.0;
+  const double n = d.expected_parallel_jobs(t0, t_inf);
+  EXPECT_GE(n, 1.0 - 1e-9);
+  EXPECT_LE(n, t_inf / t0 + 1e-9);
+}
+
+class DelayedSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DelayedSweep, InvariantsAcrossTheFeasibleTriangle) {
+  const auto [t0, ratio] = GetParam();
+  const double t_inf = ratio * t0;
+  const auto m = shared_model();
+  const DelayedResubmission d(m);
+  ASSERT_TRUE(d.feasible(t0, t_inf));
+  const double ej = d.expectation(t0, t_inf);
+  ASSERT_TRUE(std::isfinite(ej));
+  EXPECT_GE(ej, 59.0);  // cannot beat the latency floor
+  const double e2 = d.second_moment(t0, t_inf);
+  EXPECT_GE(e2, ej * ej - 1e-6);
+  // The delayed strategy at (t0, t_inf) is at least as good as single
+  // resubmission at t_inf (the copy only adds chances).
+  const SingleResubmission s(m);
+  EXPECT_LE(ej, s.expectation(t_inf) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DelayedSweep,
+    ::testing::Combine(::testing::Values(150.0, 300.0, 500.0, 900.0),
+                       ::testing::Values(1.1, 1.4, 1.7, 2.0)));
+
+}  // namespace
+}  // namespace gridsub::core

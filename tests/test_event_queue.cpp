@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsub::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(5.0, [&] { order.push_back(1); });
+  q.push(5.0, [&] { order.push_back(2); });
+  q.push(5.0, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.push(1.0, [&] { ++fired; });
+  q.push(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));  // double-cancel reports false
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCanceledHead) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(7.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.push(t, [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gridsub::sim

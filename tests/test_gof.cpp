@@ -1,0 +1,122 @@
+// Goodness-of-fit statistics: Anderson-Darling, chi-square, DKW.
+
+#include "stats/gof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/lognormal.hpp"
+#include "stats/rng.hpp"
+#include "stats/uniform.hpp"
+#include "stats/weibull.hpp"
+
+namespace gridsub::stats {
+namespace {
+
+std::vector<double> sample_from(const Distribution& dist, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(AndersonDarling, SmallForCorrectModel) {
+  const LogNormal dist(6.0, 0.8);
+  const auto xs = sample_from(dist, 2000, 1);
+  // A2 for a correct simple hypothesis is ~1 in expectation; 2.5 is the
+  // classic 5% critical value.
+  EXPECT_LT(anderson_darling(xs, dist), 2.5);
+}
+
+TEST(AndersonDarling, LargeForWrongModel) {
+  const LogNormal truth(6.0, 0.8);
+  const auto xs = sample_from(truth, 2000, 2);
+  const Weibull wrong(3.0, 400.0);
+  EXPECT_GT(anderson_darling(xs, wrong), 50.0);
+}
+
+TEST(AndersonDarling, MoreSensitiveInTheTailThanKs) {
+  // Contaminate the upper tail only: AD reacts much more than its own
+  // clean-sample level, demonstrating the tail weighting.
+  const LogNormal dist(6.0, 0.8);
+  auto xs = sample_from(dist, 2000, 3);
+  const double clean = anderson_darling(xs, dist);
+  for (std::size_t i = 0; i < 40; ++i) xs.push_back(40000.0 + 100.0 * i);
+  const double contaminated = anderson_darling(xs, dist);
+  EXPECT_GT(contaminated, 10.0 * std::max(clean, 0.5));
+}
+
+TEST(AndersonDarling, RejectsEmptySample) {
+  const LogNormal dist(6.0, 0.8);
+  EXPECT_THROW((void)anderson_darling({}, dist), std::invalid_argument);
+}
+
+TEST(ChiSquare, NearDofForCorrectModel) {
+  const LogNormal dist(6.0, 0.8);
+  const auto xs = sample_from(dist, 4000, 4);
+  const std::size_t bins = 20;
+  const double stat = chi_square_gof(xs, dist, bins);
+  // E[chi2] = bins - 1 = 19; allow a generous band.
+  EXPECT_GT(stat, 5.0);
+  EXPECT_LT(stat, 45.0);
+}
+
+TEST(ChiSquare, HugeForWrongModel) {
+  const LogNormal truth(6.0, 0.8);
+  const auto xs = sample_from(truth, 4000, 5);
+  const UniformDist wrong(0.0, 10000.0);
+  EXPECT_GT(chi_square_gof(xs, wrong, 20), 1000.0);
+}
+
+TEST(ChiSquare, ValidatesArguments) {
+  const LogNormal dist(6.0, 0.8);
+  EXPECT_THROW((void)chi_square_gof({}, dist, 10), std::invalid_argument);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)chi_square_gof(xs, dist, 1), std::invalid_argument);
+}
+
+TEST(Dkw, MatchesClosedForm) {
+  EXPECT_NEAR(dkw_epsilon(100, 0.05),
+              std::sqrt(std::log(2.0 / 0.05) / 200.0), 1e-12);
+  // Quadrupling the sample halves the band.
+  EXPECT_NEAR(dkw_epsilon(400, 0.05), 0.5 * dkw_epsilon(100, 0.05), 1e-12);
+}
+
+TEST(Dkw, CoversTheEcdfEmpirically) {
+  // The band is a guarantee: check coverage over many replications.
+  const LogNormal dist(6.0, 0.8);
+  const std::size_t n = 300;
+  const double eps = dkw_epsilon(n, 0.05);
+  Rng rng(6);
+  int violations = 0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = dist.sample(rng);
+    std::sort(xs.begin(), xs.end());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = dist.cdf(xs[i]);
+      worst = std::max(worst,
+                       std::max(std::abs(f - static_cast<double>(i) / n),
+                                std::abs(static_cast<double>(i + 1) / n -
+                                         f)));
+    }
+    if (worst > eps) ++violations;
+  }
+  // Nominal failure rate 5%; DKW is conservative, so observed should be
+  // clearly below ~10% of reps.
+  EXPECT_LT(violations, reps / 10);
+}
+
+TEST(Dkw, ValidatesArguments) {
+  EXPECT_THROW((void)dkw_epsilon(0, 0.05), std::invalid_argument);
+  EXPECT_THROW((void)dkw_epsilon(100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)dkw_epsilon(100, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::stats

@@ -1,0 +1,71 @@
+#include "numerics/kahan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gridsub::numerics {
+namespace {
+
+TEST(Kahan, SumsExactlyRepresentableValues) {
+  KahanAccumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(acc.value(), 5050.0);
+}
+
+TEST(Kahan, InitialValueIsRespected) {
+  KahanAccumulator acc(10.0);
+  acc.add(2.5);
+  EXPECT_DOUBLE_EQ(acc.value(), 12.5);
+}
+
+TEST(Kahan, CompensatesSmallAddendsAgainstLargeSum) {
+  // Adding 1e-16 to 1.0 1e6 times: naive summation loses everything,
+  // compensated summation retains the total.
+  KahanAccumulator acc(1.0);
+  double naive = 1.0;
+  for (int i = 0; i < 1000000; ++i) {
+    acc.add(1e-16);
+    naive += 1e-16;
+  }
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates the naive failure
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-10, 1e-14);
+}
+
+TEST(Kahan, NeumaierHandlesLargeAddendAfterSmallSum) {
+  KahanAccumulator acc;
+  acc.add(1.0);
+  acc.add(1e100);
+  acc.add(1.0);
+  acc.add(-1e100);
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+}
+
+TEST(Kahan, ResetClearsCompensation) {
+  KahanAccumulator acc;
+  acc.add(1e100);
+  acc.add(1.0);
+  acc.reset(5.0);
+  acc.add(1.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 6.0);
+}
+
+TEST(Kahan, OperatorPlusEquals) {
+  KahanAccumulator acc;
+  acc += 1.5;
+  acc += 2.5;
+  EXPECT_DOUBLE_EQ(acc.value(), 4.0);
+}
+
+TEST(Kahan, AlternatingCancellation) {
+  KahanAccumulator acc;
+  for (int i = 0; i < 10000; ++i) {
+    acc.add(0.1);
+    acc.add(-0.1);
+  }
+  EXPECT_NEAR(acc.value(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gridsub::numerics

@@ -1,0 +1,164 @@
+// Online estimation (§7.2): sliding-window refits, drift detection, and
+// transfer quality against the oracle tuned on the full week.
+
+#include "online/online_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/fit.hpp"
+#include "traces/datasets.hpp"
+
+namespace gridsub::online {
+namespace {
+
+/// Feeds a full synthetic week into a planner, in trace order.
+void feed_trace(OnlinePlanner& planner, const traces::Trace& trace) {
+  for (const auto& r : trace.records()) {
+    if (r.status == traces::ProbeStatus::kCompleted) {
+      planner.observe_completed(r.latency);
+    } else {
+      planner.observe_outlier();
+    }
+  }
+}
+
+TEST(OnlinePlanner, NotReadyBeforeMinObservations) {
+  OnlinePlannerConfig config;
+  config.min_observations = 50;
+  OnlinePlanner planner(config);
+  for (int i = 0; i < 49; ++i) planner.observe_completed(400.0 + i);
+  EXPECT_FALSE(planner.ready());
+  EXPECT_THROW((void)planner.current(), std::logic_error);
+  EXPECT_THROW((void)planner.model(), std::logic_error);
+  planner.observe_completed(300.0);
+  EXPECT_TRUE(planner.ready());
+}
+
+TEST(OnlinePlanner, RefitsAtTheConfiguredInterval) {
+  OnlinePlannerConfig config;
+  config.min_observations = 50;
+  config.refit_interval = 25;
+  OnlinePlanner planner(config);
+  const auto trace = traces::make_trace_by_name("2007-51");
+  feed_trace(planner, trace);
+  ASSERT_TRUE(planner.ready());
+  // 808 observations: first fit at 50, then every 25.
+  EXPECT_GE(planner.refits(), (trace.size() - 50) / 25);
+}
+
+TEST(OnlinePlanner, WindowIsBounded) {
+  OnlinePlannerConfig config;
+  config.window = 100;
+  config.min_observations = 10;
+  OnlinePlanner planner(config);
+  for (int i = 0; i < 500; ++i) planner.observe_completed(100.0 + i % 50);
+  EXPECT_EQ(planner.window_size(), 100u);
+}
+
+TEST(OnlinePlanner, OutlierRatioTracksTheWindow) {
+  OnlinePlannerConfig config;
+  config.window = 100;
+  config.min_observations = 10;
+  OnlinePlanner planner(config);
+  for (int i = 0; i < 90; ++i) planner.observe_completed(400.0);
+  for (int i = 0; i < 10; ++i) planner.observe_outlier();
+  EXPECT_NEAR(planner.window_outlier_ratio(), 0.1, 1e-12);
+}
+
+TEST(OnlinePlanner, ModelReflectsRecentObservations) {
+  OnlinePlannerConfig config;
+  config.window = 200;
+  config.min_observations = 100;
+  config.refit_interval = 10;
+  OnlinePlanner planner(config);
+  // Stationary 400 s latencies: the fitted F~ must place its mass there.
+  for (int i = 0; i < 200; ++i) {
+    planner.observe_completed(380.0 + (i % 41));
+  }
+  ASSERT_TRUE(planner.ready());
+  EXPECT_NEAR(planner.model().ftilde(500.0), 1.0, 1e-9);
+  EXPECT_NEAR(planner.model().ftilde(300.0), 0.0, 1e-9);
+}
+
+TEST(OnlinePlanner, StationaryWeekShowsNoDrift) {
+  OnlinePlannerConfig config;
+  config.window = 400;
+  OnlinePlanner planner(config);
+  feed_trace(planner, traces::make_trace_by_name("2007-52"));
+  // Stay under the two-sample KS noise ceiling for half-windows of ~200
+  // (1.36 * sqrt(2/200) = 0.136) — i.e. indistinguishable from iid.
+  EXPECT_LT(planner.drift_statistic(), 0.14);
+  EXPECT_FALSE(planner.drifted());
+}
+
+TEST(OnlinePlanner, RegimeChangeTripsTheDriftDetector) {
+  OnlinePlannerConfig config;
+  config.window = 400;
+  config.min_observations = 100;
+  OnlinePlanner planner(config);
+  // Old regime ~ 300 s, new regime ~ 1500 s: halves must separate.
+  for (int i = 0; i < 200; ++i) planner.observe_completed(280.0 + i % 40);
+  for (int i = 0; i < 200; ++i) planner.observe_completed(1480.0 + i % 40);
+  EXPECT_GT(planner.drift_statistic(), 0.9);
+  EXPECT_TRUE(planner.drifted());
+}
+
+TEST(OnlinePlanner, TransferPenaltyIsSmallOnNeighbouringWeeks) {
+  // The paper's Table 6 headline: parameters estimated on week w-1 cost at
+  // most a few percent on week w. Replay week 51 into the planner, then
+  // score its delayed recommendation against week 52's oracle.
+  OnlinePlannerConfig config;
+  config.window = 810;
+  config.planner.objective = core::PlannerOptions::Objective::kMinCost;
+  OnlinePlanner planner(config);
+  feed_trace(planner, traces::make_trace_by_name("2007-51"));
+  ASSERT_TRUE(planner.ready());
+  const auto& rec = planner.current();
+
+  const auto next_week = traces::make_trace_by_name("2007-52");
+  const auto next_model =
+      model::DiscretizedLatencyModel::from_trace(next_week, 2.0);
+  const core::StrategyPlanner oracle(next_model);
+  const auto oracle_rec = oracle.recommend(config.planner);
+
+  // Evaluate the transferred parameters on next week's model.
+  double transferred_cost = rec.choice.delta_cost;
+  if (rec.choice.kind == core::StrategyKind::kDelayedResubmission) {
+    transferred_cost =
+        oracle.evaluate_delayed_params(rec.choice.t0, rec.choice.t_inf)
+            .delta_cost;
+  }
+  EXPECT_LT(transferred_cost, oracle_rec.choice.delta_cost * 1.10)
+      << "week-ahead parameters must be within 10% of the oracle";
+}
+
+TEST(OnlinePlanner, ValidatesConfigAndInputs) {
+  OnlinePlannerConfig bad;
+  bad.window = 1;
+  EXPECT_THROW(OnlinePlanner{bad}, std::invalid_argument);
+  OnlinePlannerConfig bad2;
+  bad2.min_observations = 1;
+  EXPECT_THROW(OnlinePlanner{bad2}, std::invalid_argument);
+  OnlinePlannerConfig bad3;
+  bad3.refit_interval = 0;
+  EXPECT_THROW(OnlinePlanner{bad3}, std::invalid_argument);
+
+  OnlinePlanner planner{OnlinePlannerConfig{}};
+  EXPECT_THROW(planner.observe_completed(-1.0), std::invalid_argument);
+  EXPECT_THROW(planner.observe_completed(20000.0), std::invalid_argument);
+}
+
+TEST(KsTwoSample, BasicProperties) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(stats::ks_two_sample(a, b), 0.0, 1e-12);
+  const std::vector<double> c{11.0, 12.0, 13.0};
+  EXPECT_NEAR(stats::ks_two_sample(a, c), 1.0, 1e-12);
+  const std::vector<double> half{3.5, 11.0};
+  // F_a jumps to 0.6 by 3.5; F_half is 0.5 there: D >= 0.5 region checks.
+  EXPECT_GT(stats::ks_two_sample(a, half), 0.4);
+  EXPECT_THROW((void)stats::ks_two_sample({}, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::online

@@ -1,0 +1,113 @@
+// Site-outage injection: availability semantics and the effect on probe
+// campaigns.
+
+#include "sim/outage_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/grid.hpp"
+#include "sim/probe_client.hpp"
+
+namespace gridsub::sim {
+namespace {
+
+TEST(ComputingElementAvailability, DownSiteSwallowsSubmissions) {
+  Simulator sim;
+  GridMetrics metrics;
+  ComputingElement ce(sim, "ce", 4, 0.0, stats::Rng(1), &metrics);
+  ce.set_available(false);
+  int started = 0;
+  const auto h = ce.submit(10.0, [&] { ++started; });
+  sim.run();
+  EXPECT_EQ(started, 0);
+  EXPECT_EQ(metrics.jobs_faulted, 1u);
+  EXPECT_FALSE(ce.cancel(h));  // the job never existed site-side
+}
+
+TEST(ComputingElementAvailability, RunningJobsSurviveAnOutage) {
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  int completed = 0;
+  ce.submit(50.0, nullptr, [&] { ++completed; });
+  sim.schedule_at(10.0, [&] { ce.set_available(false); });
+  sim.schedule_at(20.0, [&] { ce.set_available(true); });
+  sim.run();
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(OutageInjector, TogglesSitesOverTime) {
+  Simulator sim;
+  std::vector<std::unique_ptr<ComputingElement>> owned;
+  std::vector<ComputingElement*> ces;
+  for (int i = 0; i < 6; ++i) {
+    owned.push_back(std::make_unique<ComputingElement>(
+        sim, "ce" + std::to_string(i), 4, 0.0, stats::Rng(10 + i)));
+    ces.push_back(owned.back().get());
+  }
+  OutageConfig oc;
+  oc.mean_time_to_failure = 5000.0;
+  oc.mean_outage_duration = 1000.0;
+  OutageInjector injector(sim, ces, oc, stats::Rng(99));
+  sim.run_until(200000.0);
+  // Expected ~ 6 * 200000/6000 = 200 outages; verify the process ran.
+  EXPECT_GT(injector.outages(), 50u);
+  EXPECT_LE(injector.down_count(), 6u);
+}
+
+TEST(OutageInjector, DaemonEventsDoNotKeepTheSimulationAlive) {
+  Simulator sim;
+  auto ce = std::make_unique<ComputingElement>(sim, "ce", 2, 0.0,
+                                               stats::Rng(1));
+  OutageInjector injector(sim, {ce.get()}, {}, stats::Rng(2));
+  int fired = 0;
+  sim.schedule_at(100.0, [&] { ++fired; });
+  sim.run();  // must terminate despite the injector's self-renewal
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(OutageInjector, RaisesTheObservedFaultRatio) {
+  const auto run = [](bool with_outages) {
+    GridConfig config = GridConfig::egee_like();
+    config.elements.resize(4);
+    config.background.arrival_rate = 0.05;
+    GridSimulation grid(config);
+    std::vector<ComputingElement*> ces;
+    for (const auto& ce : grid.elements()) ces.push_back(ce.get());
+    std::unique_ptr<OutageInjector> injector;
+    if (with_outages) {
+      OutageConfig oc;
+      oc.mean_time_to_failure = 30000.0;  // frequent
+      oc.mean_outage_duration = 15000.0;  // long
+      injector = std::make_unique<OutageInjector>(grid.simulator(), ces, oc,
+                                                  grid.make_rng());
+    }
+    grid.warm_up(10000.0);
+    ProbeCampaignConfig pc;
+    pc.n_probes = 250;
+    pc.concurrent = 10;
+    pc.timeout = 4000.0;
+    ProbeClient probe(grid, pc);
+    probe.start();
+    grid.simulator().run_until(grid.simulator().now() + 5e6);
+    EXPECT_TRUE(probe.done());
+    return probe.trace().stats().outlier_ratio;
+  };
+  const double baseline = run(false);
+  const double with_outages = run(true);
+  EXPECT_GT(with_outages, baseline);
+}
+
+TEST(OutageInjector, ValidatesArguments) {
+  Simulator sim;
+  EXPECT_THROW(OutageInjector(sim, {}, {}, stats::Rng(1)),
+               std::invalid_argument);
+  auto ce =
+      std::make_unique<ComputingElement>(sim, "ce", 1, 0.0, stats::Rng(1));
+  OutageConfig bad;
+  bad.mean_time_to_failure = 0.0;
+  EXPECT_THROW(OutageInjector(sim, {ce.get()}, bad, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::sim

@@ -1,0 +1,78 @@
+#include "parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gridsub::par {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  parallel_for(5, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::int64_t i) {
+                              if (i == 37) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForBlocked, BlocksCoverRangeWithoutOverlap) {
+  std::vector<std::atomic<int>> hits(512);
+  parallel_for_blocked(0, 512, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_LT(lo, hi);
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  const auto total = parallel_reduce<long long>(
+      1, 10001, 0LL, [](std::int64_t i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(total, 50005000LL);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  const auto v = parallel_reduce<int>(
+      3, 3, -7, [](std::int64_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParallelReduce, DeterministicAcrossPoolSizes) {
+  // Floating-point fold order is fixed (block order), so different pools
+  // give bit-identical results.
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto run = [](ThreadPool* pool) {
+    return parallel_reduce<double>(
+        0, 100000, 0.0,
+        [](std::int64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; }, pool);
+  };
+  EXPECT_DOUBLE_EQ(run(&pool1), run(&pool8));
+}
+
+TEST(ParallelFor, WorksWithExplicitPool) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  parallel_for(0, 1000, [&](std::int64_t i) { sum += i; }, &pool);
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+}  // namespace
+}  // namespace gridsub::par

@@ -1,0 +1,124 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace gridsub::stats {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01StaysInOpenInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.003);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformIntIsUnbiasedOverSmallRange) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int n = 140000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 600.0);
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+    sum3 += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.01);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(29);
+  Rng b = a.split();
+  // The split stream should not replay the parent's outputs.
+  std::set<std::uint64_t> parent;
+  Rng a2(29);
+  for (int i = 0; i < 64; ++i) parent.insert(a2.next_u64());
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.count(b.next_u64())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+}  // namespace
+}  // namespace gridsub::stats

@@ -1,0 +1,72 @@
+#include "numerics/rootfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridsub::numerics {
+namespace {
+
+TEST(Bisection, FindsSimpleRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto res = bisection(f, 0.0, 2.0, 1e-12);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisection, AcceptsRootAtBracketEdge) {
+  const auto f = [](double x) { return x - 1.0; };
+  const auto res = bisection(f, 1.0, 5.0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.x, 1.0);
+}
+
+TEST(Bisection, RejectsNonBracketingInterval) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bisection(f, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(BrentRoot, ConvergesFasterThanBisection) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto brent = brent_root(f, 0.0, 1.0, 1e-14);
+  const auto bisect = bisection(f, 0.0, 1.0, 1e-14);
+  EXPECT_NEAR(brent.x, 0.7390851332151607, 1e-10);
+  EXPECT_LT(brent.evaluations, bisect.evaluations);
+}
+
+TEST(BrentRoot, HandlesSteepFunctions) {
+  const auto f = [](double x) { return std::expm1(50.0 * (x - 0.2)); };
+  const auto res = brent_root(f, -1.0, 1.0, 1e-14);
+  EXPECT_NEAR(res.x, 0.2, 1e-8);
+}
+
+TEST(BracketAndSolve, ExpandsToFindTheRoot) {
+  const auto f = [](double x) { return x - 1000.0; };
+  const auto res = bracket_and_solve(f, 0.0, 1.0, 60, 1e-10);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, 1000.0, 1e-6);
+}
+
+TEST(BracketAndSolve, ReportsFailureWhenNoRootExists) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  const auto res = bracket_and_solve(f, -1.0, 1.0, 8, 1e-10);
+  EXPECT_FALSE(res.converged);
+}
+
+class RootSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootSweep, PowerFunctions) {
+  const double target = GetParam();
+  // Solve x^3 = target.
+  const auto f = [target](double x) { return x * x * x - target; };
+  const auto res = bracket_and_solve(f, -2.0, 2.0, 60, 1e-13);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, std::cbrt(target), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RootSweep,
+                         ::testing::Values(-512.0, -1.0, 0.001, 1.0, 27.0,
+                                           1e6));
+
+}  // namespace
+}  // namespace gridsub::numerics

@@ -1,0 +1,72 @@
+#include "traces/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridsub::traces {
+namespace {
+
+TEST(Trace, RecordsAndCounts) {
+  Trace t("test", 10000.0);
+  t.add_completed(0.0, 120.0);
+  t.add_completed(10.0, 480.0);
+  t.add_outlier(20.0);
+  t.add_fault(30.0);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.count(ProbeStatus::kCompleted), 2u);
+  EXPECT_EQ(t.count(ProbeStatus::kOutlier), 1u);
+  EXPECT_EQ(t.count(ProbeStatus::kFault), 1u);
+  EXPECT_EQ(t.completed_latencies(), (std::vector<double>{120.0, 480.0}));
+}
+
+TEST(Trace, StatsMatchTable1Definitions) {
+  Trace t("test", 10000.0);
+  t.add_completed(0.0, 100.0);
+  t.add_completed(0.0, 300.0);
+  t.add_outlier(0.0);
+  const auto s = t.stats();
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_NEAR(s.outlier_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_completed, 200.0);
+  // Censored mean: (100 + 300 + 10000) / 3.
+  EXPECT_NEAR(s.censored_mean, 10400.0 / 3.0, 1e-9);
+}
+
+TEST(Trace, CensoredMeanIsLowerBound) {
+  Trace t("test", 10000.0);
+  t.add_completed(0.0, 500.0);
+  t.add_outlier(0.0);
+  const auto s = t.stats();
+  EXPECT_GT(s.censored_mean, s.mean_completed);
+  EXPECT_LE(s.censored_mean, 10000.0);
+}
+
+TEST(Trace, RejectsLatencyBeyondTimeout) {
+  Trace t("test", 1000.0);
+  EXPECT_THROW(t.add_completed(0.0, 1500.0), std::invalid_argument);
+  EXPECT_THROW(t.add_completed(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Trace, AppendConcatenatesAndChecksTimeout) {
+  Trace a("a", 10000.0);
+  a.add_completed(0.0, 10.0);
+  Trace b("b", 10000.0);
+  b.add_completed(5.0, 20.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  Trace c("c", 5000.0);
+  EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(Trace, StatsRequireCompletedProbes) {
+  Trace t("empty-ish", 10000.0);
+  t.add_outlier(0.0);
+  EXPECT_THROW(t.stats(), std::logic_error);
+}
+
+TEST(Trace, RejectsNonPositiveTimeout) {
+  EXPECT_THROW(Trace("bad", 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::traces

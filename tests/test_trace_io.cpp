@@ -1,0 +1,81 @@
+#include "traces/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gridsub::traces {
+namespace {
+
+Trace sample_trace() {
+  Trace t("round-trip", 8000.0);
+  t.add_completed(0.0, 123.25);
+  t.add_completed(50.5, 456.0);
+  t.add_outlier(100.0);
+  t.add_fault(150.75);
+  return t;
+}
+
+TEST(TraceIo, RoundTripsThroughCsv) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_csv(ss, original);
+  const Trace restored = read_csv(ss);
+  EXPECT_EQ(restored.name(), original.name());
+  EXPECT_DOUBLE_EQ(restored.timeout(), original.timeout());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.records()[i].submit_time,
+                     original.records()[i].submit_time);
+    EXPECT_DOUBLE_EQ(restored.records()[i].latency,
+                     original.records()[i].latency);
+    EXPECT_EQ(restored.records()[i].status, original.records()[i].status);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/gridsub_trace_test.csv";
+  write_csv_file(path, original);
+  const Trace restored = read_csv_file(path);
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.name(), original.name());
+}
+
+TEST(TraceIo, RejectsUnknownStatus) {
+  std::stringstream ss;
+  ss << "submit_time,latency,status\n0,1,weird\n";
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedLine) {
+  std::stringstream ss;
+  ss << "submit_time,latency,status\n0,1\n";
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss;
+  ss << "0,1,completed\n";
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, StatsSurviveRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_csv(ss, original);
+  const Trace restored = read_csv(ss);
+  const auto s0 = original.stats();
+  const auto s1 = restored.stats();
+  EXPECT_DOUBLE_EQ(s0.mean_completed, s1.mean_completed);
+  EXPECT_DOUBLE_EQ(s0.outlier_ratio, s1.outlier_ratio);
+  EXPECT_DOUBLE_EQ(s0.censored_mean, s1.censored_mean);
+}
+
+}  // namespace
+}  // namespace gridsub::traces

@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared fixtures for the gridsub test suite: small, fast latency models
+// with known structure.
+
+#include <memory>
+
+#include "model/discretized.hpp"
+#include "model/parametric_latency.hpp"
+#include "stats/exponential.hpp"
+#include "stats/lognormal.hpp"
+#include "stats/shifted.hpp"
+
+namespace gridsub::testutil {
+
+/// Shifted log-normal bulk + faults: the EGEE-like regime at small scale.
+inline model::ParametricLatencyModel make_heavy_model(
+    double fault_ratio = 0.05, double horizon = 4000.0) {
+  auto bulk = std::make_unique<stats::Shifted>(
+      std::make_unique<stats::LogNormal>(5.0, 1.0), 60.0);
+  return model::ParametricLatencyModel(std::move(bulk), fault_ratio,
+                                       horizon);
+}
+
+/// Memoryless latency: single resubmission is timeout-indifferent here.
+inline model::ParametricLatencyModel make_exponential_model(
+    double mean = 300.0, double fault_ratio = 0.0,
+    double horizon = 20000.0) {
+  return model::ParametricLatencyModel(
+      std::make_unique<stats::Exponential>(1.0 / mean), fault_ratio,
+      horizon);
+}
+
+inline model::DiscretizedLatencyModel discretize(
+    const model::LatencyModel& m, double step = 1.0) {
+  return model::DiscretizedLatencyModel(m, step);
+}
+
+}  // namespace gridsub::testutil

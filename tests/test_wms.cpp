@@ -1,0 +1,132 @@
+#include "sim/wms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace gridsub::sim {
+namespace {
+
+struct WmsFixture {
+  Simulator sim;
+  GridMetrics metrics;
+  std::vector<std::unique_ptr<ComputingElement>> ces;
+  std::unique_ptr<WorkloadManager> wms;
+
+  explicit WmsFixture(int n_ces, WmsConfig config = {}) {
+    config.fault_prob = config.fault_prob;  // keep caller's value
+    std::vector<ComputingElement*> raw;
+    for (int i = 0; i < n_ces; ++i) {
+      ces.push_back(std::make_unique<ComputingElement>(
+          sim, "ce" + std::to_string(i), 4, 0.0, stats::Rng(100 + i),
+          &metrics));
+      raw.push_back(ces.back().get());
+    }
+    wms = std::make_unique<WorkloadManager>(sim, raw, config,
+                                            stats::Rng(7), &metrics);
+  }
+};
+
+WmsConfig reliable_config() {
+  WmsConfig c;
+  c.fault_prob = 0.0;
+  c.network.hops = 2;
+  c.network.hop_mean = 10.0;
+  c.network.hop_shape = 4.0;
+  return c;
+}
+
+TEST(Wms, JobsReachAComputingElementAndStart) {
+  WmsFixture f(3, reliable_config());
+  int started = 0;
+  for (int i = 0; i < 10; ++i) {
+    f.wms->submit(5.0, [&] { ++started; });
+  }
+  f.sim.run();
+  EXPECT_EQ(started, 10);
+  EXPECT_EQ(f.metrics.jobs_submitted, 10u);
+  EXPECT_EQ(f.metrics.jobs_dispatched, 10u);
+}
+
+TEST(Wms, MatchmakingDelayIsPositive) {
+  WmsFixture f(1, reliable_config());
+  double start_time = -1.0;
+  f.wms->submit(1.0, [&] { start_time = f.sim.now(); });
+  f.sim.run();
+  EXPECT_GT(start_time, 0.0);
+  EXPECT_GT(f.metrics.total_matchmaking, 0.0);
+}
+
+TEST(Wms, CancelDuringMatchmakingStopsDispatch) {
+  WmsFixture f(1, reliable_config());
+  int started = 0;
+  const auto ticket = f.wms->submit(1.0, [&] { ++started; });
+  EXPECT_TRUE(f.wms->cancel(ticket));
+  f.sim.run();
+  EXPECT_EQ(started, 0);
+  EXPECT_EQ(f.metrics.jobs_dispatched, 0u);
+  EXPECT_EQ(f.metrics.jobs_canceled, 1u);
+}
+
+TEST(Wms, CancelAfterDispatchReachesTheCe) {
+  WmsFixture f(1, reliable_config());
+  int started = 0;
+  // Fill all 4 slots with long jobs *first* (matchmaking delays are random,
+  // so submitting five at once would not pin down which ticket queues).
+  for (int i = 0; i < 4; ++i) f.wms->submit(10000.0, [&] { ++started; });
+  f.sim.run_until(500.0);
+  ASSERT_EQ(started, 4);
+  // The fifth job must queue at the CE; cancel it there.
+  int fifth_started = 0;
+  const auto ticket = f.wms->submit(10000.0, [&] { ++fifth_started; });
+  f.sim.schedule_at(1000.0, [&] { EXPECT_TRUE(f.wms->cancel(ticket)); });
+  f.sim.run_until(2000.0);
+  EXPECT_EQ(fifth_started, 0);  // the canceled job never started
+}
+
+TEST(Wms, FaultyChainLosesJobsSilently) {
+  auto config = reliable_config();
+  config.fault_prob = 1.0;
+  WmsFixture f(2, config);
+  int started = 0;
+  for (int i = 0; i < 5; ++i) f.wms->submit(1.0, [&] { ++started; });
+  f.sim.run();
+  EXPECT_EQ(started, 0);
+  EXPECT_EQ(f.metrics.jobs_faulted, 5u);
+}
+
+TEST(Wms, LeastLoadedSpreadsAcrossElements) {
+  auto config = reliable_config();
+  config.dispatch = WmsConfig::Dispatch::kLeastLoaded;
+  config.info_refresh_period = 1.0;  // nearly fresh load info
+  WmsFixture f(4, config);
+  // Long jobs so load accumulates; 40 jobs over 4 CEs of 4 slots.
+  for (int i = 0; i < 40; ++i) f.wms->submit(100000.0, nullptr);
+  f.sim.run_until(50000.0);
+  // Every CE should have received a fair share (no starvation).
+  for (const auto& ce : f.ces) {
+    EXPECT_GE(ce->running() + static_cast<int>(ce->queue_length()), 5);
+  }
+}
+
+TEST(Wms, UniformRandomDispatchAlsoCoversAllElements) {
+  auto config = reliable_config();
+  config.dispatch = WmsConfig::Dispatch::kUniformRandom;
+  WmsFixture f(4, config);
+  for (int i = 0; i < 200; ++i) f.wms->submit(100000.0, nullptr);
+  f.sim.run_until(10000.0);
+  for (const auto& ce : f.ces) {
+    EXPECT_GT(ce->running() + static_cast<int>(ce->queue_length()), 20);
+  }
+}
+
+TEST(Wms, RejectsEmptyElementList) {
+  Simulator sim;
+  EXPECT_THROW(
+      WorkloadManager(sim, {}, reliable_config(), stats::Rng(1), nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::sim

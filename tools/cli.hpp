@@ -1,0 +1,104 @@
+#pragma once
+
+// Minimal command-line option parser shared by the gridsub tools.
+//
+// Supports --key value and --flag forms plus -h/--help; unknown options
+// are an error so typos fail fast rather than being silently ignored.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridsub::tools {
+
+class Cli {
+ public:
+  /// `spec`: option name -> help text. Options taking a value end their
+  /// help text with the marker "<value>" convention in the description;
+  /// parsing treats every option as value-taking unless listed in `flags`.
+  Cli(std::string program, std::string summary,
+      std::map<std::string, std::string> spec,
+      std::set<std::string> flags = {})
+      : program_(std::move(program)),
+        summary_(std::move(summary)),
+        spec_(std::move(spec)),
+        flags_(std::move(flags)) {}
+
+  /// Parses argv; on -h/--help prints usage and exits 0; on error prints
+  /// usage and exits 2.
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-h" || arg == "--help") {
+        usage(stdout);
+        std::exit(0);
+      }
+      if (spec_.find(arg) == spec_.end()) {
+        std::fprintf(stderr, "%s: unknown option '%s'\n\n", program_.c_str(),
+                     arg.c_str());
+        usage(stderr);
+        std::exit(2);
+      }
+      if (flags_.count(arg) > 0) {
+        values_[arg] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '%s' needs a value\n",
+                     program_.c_str(), arg.c_str());
+        std::exit(2);
+      }
+      values_[arg] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(
+      const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const {
+    const auto v = get(key);
+    if (!v) return fallback;
+    try {
+      return std::stod(*v);
+    } catch (...) {
+      std::fprintf(stderr, "%s: option '%s' expects a number, got '%s'\n",
+                   program_.c_str(), key.c_str(), v->c_str());
+      std::exit(2);
+    }
+  }
+
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  void usage(std::FILE* out) const {
+    std::fprintf(out, "%s — %s\n\noptions:\n", program_.c_str(),
+                 summary_.c_str());
+    for (const auto& [key, help] : spec_) {
+      std::fprintf(out, "  %-18s %s\n", key.c_str(), help.c_str());
+    }
+  }
+
+ private:
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, std::string> spec_;
+  std::set<std::string> flags_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gridsub::tools
