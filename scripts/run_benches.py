@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Bench runner: executes gridsub bench binaries and records a JSON report.
+
+Each listed bench is run once; wall time, exit status, and captured stdout
+are written to a single JSON file (one entry per bench) together with the
+git revision, so successive PRs accumulate a comparable perf trajectory in
+the repo-root BENCH_*.json files.
+
+bench_perf_micro (google-benchmark) is handled specially: it is run with
+--benchmark_format=json and its structured output is written verbatim to
+the --micro-json path.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+MICRO_BENCH = "bench_perf_micro"
+
+
+def git_revision(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def run_report_bench(path, timeout):
+    start = time.monotonic()
+    try:
+        proc = subprocess.run([path], capture_output=True, text=True,
+                              timeout=timeout)
+        elapsed = time.monotonic() - start
+        return {
+            "wall_seconds": round(elapsed, 4),
+            "exit_code": proc.returncode,
+            "stdout_lines": proc.stdout.splitlines(),
+            "stderr_tail": proc.stderr.splitlines()[-5:],
+        }
+    except subprocess.TimeoutExpired:
+        return {
+            "wall_seconds": round(time.monotonic() - start, 4),
+            "exit_code": None,
+            "error": f"timed out after {timeout}s",
+        }
+
+
+def run_micro_bench(path, micro_json, quick, timeout):
+    args = [path, "--benchmark_format=json"]
+    if quick:
+        # Plain double form: the "0.05s" suffix syntax needs benchmark >= 1.8.
+        args.append("--benchmark_min_time=0.05")
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(args, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        return {"exit_code": None, "error": "micro bench timed out"}
+    elapsed = time.monotonic() - start
+    entry = {"wall_seconds": round(elapsed, 4), "exit_code": proc.returncode}
+    if proc.returncode == 0:
+        try:
+            payload = json.loads(proc.stdout)
+        except json.JSONDecodeError:
+            entry["error"] = "non-JSON benchmark output"
+            return entry
+        with open(micro_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        entry["written"] = os.path.basename(micro_json)
+        entry["benchmark_count"] = len(payload.get("benchmarks", []))
+    else:
+        entry["stderr_tail"] = proc.stderr.splitlines()[-5:]
+    return entry
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benches", nargs="+",
+                        help="bench target names (binaries in --bin-dir)")
+    parser.add_argument("--bin-dir", required=True)
+    parser.add_argument("--out", required=True,
+                        help="aggregate JSON report path")
+    parser.add_argument("--micro-json", default=None,
+                        help="where to write bench_perf_micro's native JSON")
+    parser.add_argument("--quick", action="store_true",
+                        help="short micro-bench repetitions for smoke runs")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    report = {
+        "schema": "gridsub-bench-v1",
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "git_revision": git_revision(repo_root),
+        "host": platform.node(),
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "results": {},
+    }
+
+    failures = 0
+    names = list(dict.fromkeys(args.benches))
+    if args.micro_json and MICRO_BENCH not in names:
+        micro_path = os.path.join(args.bin_dir, MICRO_BENCH)
+        if os.path.exists(micro_path):
+            names.append(MICRO_BENCH)
+
+    for name in names:
+        path = os.path.join(args.bin_dir, name)
+        if not os.path.exists(path):
+            print(f"[bench] FAIL {name}: binary not found", file=sys.stderr)
+            report["results"][name] = {"error": "binary not found"}
+            failures += 1
+            continue
+        print(f"[bench] running {name} ...", flush=True)
+        if name == MICRO_BENCH and args.micro_json:
+            entry = run_micro_bench(path, args.micro_json, args.quick,
+                                    args.timeout)
+        else:
+            entry = run_report_bench(path, args.timeout)
+        report["results"][name] = entry
+        if entry.get("exit_code") != 0 or entry.get("error"):
+            failures += 1
+            print(f"[bench] FAIL {name}: {entry.get('error', 'nonzero exit')}",
+                  file=sys.stderr)
+        else:
+            print(f"[bench] ok   {name} ({entry['wall_seconds']}s)",
+                  flush=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench] wrote {args.out} ({len(report['results'])} benches, "
+          f"{failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,8 +129,11 @@ void StrategyClient::run_delayed(std::shared_ptr<TaskOutcome> outcome,
   auto state = std::make_shared<DelayedState>();
 
   // Submits copy `k` (at time task_start + k*t0) and schedules copy k+1.
+  // The closure must not hold a strong reference to itself (that cycle
+  // leaks); only the pending chain event in the queue keeps it alive.
   auto submit_copy = std::make_shared<std::function<void()>>();
-  *submit_copy = [this, state, outcome, task_start, submit_copy]() {
+  std::weak_ptr<std::function<void()>> weak_submit = submit_copy;
+  *submit_copy = [this, state, outcome, task_start, weak_submit]() {
     if (state->settled) return;
     auto& sim = grid_.simulator();
     const int k = state->next_index++;
@@ -158,10 +161,13 @@ void StrategyClient::run_delayed(std::shared_ptr<TaskOutcome> outcome,
       state->live.erase(it);
     });
     state->live.emplace(k, copy);
-    // Schedule the next copy one period later.
+    // Schedule the next copy one period later; the event's strong
+    // reference is what keeps the recursive closure alive.
+    auto self = weak_submit.lock();
+    if (!self) return;
     state->next_submit_event = sim.schedule_at(
         task_start + static_cast<double>(state->next_index) * spec_.t0,
-        [submit_copy]() { (*submit_copy)(); });
+        [self]() { (*self)(); });
   };
   (*submit_copy)();
 }

@@ -117,8 +117,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("2006-IX", "2007-36", "2007-37", "2007-38", "2007-39",
                       "2007-50", "2007-51", "2007-52", "2007-53", "2008-01",
                       "2008-02", "2008-03"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (auto& ch : name) {
         if (ch == '-' || ch == '/') ch = '_';
       }

@@ -44,7 +44,9 @@ TEST(AndersonDarling, MoreSensitiveInTheTailThanKs) {
   const LogNormal dist(6.0, 0.8);
   auto xs = sample_from(dist, 2000, 3);
   const double clean = anderson_darling(xs, dist);
-  for (std::size_t i = 0; i < 40; ++i) xs.push_back(40000.0 + 100.0 * i);
+  for (std::size_t i = 0; i < 40; ++i) {
+    xs.push_back(40000.0 + 100.0 * static_cast<double>(i));
+  }
   const double contaminated = anderson_darling(xs, dist);
   EXPECT_GT(contaminated, 10.0 * std::max(clean, 0.5));
 }
