@@ -1,0 +1,159 @@
+// Trace-replay experiment: the three strategy families under realistic
+// non-stationary load.
+//
+// The paper evaluates strategies against per-week latency distributions
+// and concludes (§7) that parameters tuned on one week stay near-optimal
+// later. That only holds if performance is robust to *non-stationary*
+// load, which a stationary Poisson background cannot probe. Here each
+// strategy family runs on the DES grid while a recorded workload is
+// replayed as the background traffic: a diurnal/weekend cycle, a burst
+// week, and an outage-backlog week, all normalized to the same
+// time-averaged rate as the stationary control so only the load *shape*
+// differs. Fully seeded: output is bit-reproducible run to run.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "sim/grid.hpp"
+#include "sim/strategy_client.hpp"
+#include "traces/scenarios.hpp"
+
+namespace {
+
+using namespace gridsub;
+
+struct StrategyCase {
+  std::string label;
+  sim::StrategySpec spec;
+};
+
+std::vector<StrategyCase> strategy_cases() {
+  std::vector<StrategyCase> cases;
+  {
+    sim::StrategySpec s;
+    s.kind = core::StrategyKind::kSingleResubmission;
+    s.t_inf = 1500.0;
+    cases.push_back({"single(t_inf=1500)", s});
+  }
+  {
+    sim::StrategySpec s;
+    s.kind = core::StrategyKind::kMultipleSubmission;
+    s.b = 3;
+    s.t_inf = 1500.0;
+    cases.push_back({"multiple(b=3,t_inf=1500)", s});
+  }
+  {
+    sim::StrategySpec s;
+    s.kind = core::StrategyKind::kDelayedResubmission;
+    s.t0 = 900.0;
+    s.t_inf = 1500.0;
+    cases.push_back({"delayed(t0=900,t_inf=1500)", s});
+  }
+  return cases;
+}
+
+struct RunResult {
+  double mean_j = 0.0;
+  double mean_subs = 0.0;
+  std::size_t tasks_done = 0;
+};
+
+RunResult run_case(std::size_t scenario_index,
+                   const traces::Workload& workload,
+                   const sim::StrategySpec& spec) {
+  sim::GridConfig config = sim::GridConfig::egee_like();
+  // The replayed workload *is* the background traffic; silence the
+  // built-in Poisson source so the load shape comes from the trace alone.
+  config.background.arrival_rate = 0.0;
+  // Platform-independent seed derivation (no std::hash: its value is
+  // implementation-defined and would break bit-reproducibility).
+  config.seed = 20090611 + 1000003 * static_cast<std::uint64_t>(scenario_index);
+  sim::GridSimulation grid(config);
+  grid.attach_replay(workload);
+  // Let the morning of day 0 fill the queues before measuring.
+  grid.warm_up(6.0 * 3600.0);
+
+  // More tasks than a week can hold: the client stays active from warm-up
+  // to the horizon, so every load regime of the scenario is sampled.
+  sim::StrategyClient client(grid, spec, /*n_tasks=*/100000);
+  client.start();
+  grid.simulator().run_until(workload.duration());
+
+  RunResult r;
+  r.mean_j = client.mean_latency();
+  r.mean_subs = client.mean_submissions();
+  r.tasks_done = client.outcomes().size();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "trace_replay",
+      "paper §7 robustness: strategies under non-stationary replayed load",
+      "DES grid, one week per scenario, equal time-averaged rate");
+
+  traces::ScenarioConfig scen;
+  // ~74% average utilization of the egee_like grid (896 slots, 2200 s mean
+  // runtime): the stationary control is stable, so any degradation under
+  // the other shapes is attributable to non-stationarity, not saturation.
+  scen.base_rate = 0.30;
+  scen.seed = 20090611;
+
+  const auto names = traces::replay_scenario_names();
+  std::map<std::string, traces::Workload> workloads;
+  report::Table shape({"scenario", "jobs", "mean rate (1/s)",
+                       "peak hourly rate", "burstiness"});
+  for (const auto& name : names) {
+    workloads.emplace(name, traces::make_scenario(name, scen));
+    const auto stats = workloads.at(name).stats();
+    shape.row()
+        .cell(name)
+        .cell(static_cast<long long>(stats.jobs))
+        .cell(stats.mean_rate, 4)
+        .cell(stats.peak_hourly_rate, 4)
+        .cell(stats.burstiness, 2);
+  }
+  std::cout << "replayed workload shapes (same average load, different "
+               "distribution over the week):\n";
+  shape.print(std::cout);
+  std::cout << "\n";
+
+  const std::string baseline = names.front();  // stationary-week control
+  for (const auto& sc : strategy_cases()) {
+    report::Table table({"scenario", "tasks done", "mean J (s)",
+                         "mean subs/task", "J vs stationary"});
+    std::map<std::string, RunResult> results;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      results[names[i]] = run_case(i, workloads.at(names[i]), sc.spec);
+    }
+    const double base_j = results.at(baseline).mean_j;
+    for (const auto& name : names) {
+      const auto& r = results.at(name);
+      table.row()
+          .cell(name)
+          .cell(static_cast<long long>(r.tasks_done))
+          .cell(r.mean_j, 1)
+          .cell(r.mean_subs, 2)
+          .cell(base_j > 0.0 ? r.mean_j / base_j : 0.0, 3);
+    }
+    std::cout << "strategy " << sc.label << ":\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "takeaway: with the weekly job mass held fixed, diurnal "
+               "peaks, bursts, and outage backlogs inflate E_J relative to "
+               "the stationary control — the regime the paper's cross-week "
+               "tuning claim must survive. Timeout-based resubmission "
+               "degrades most when load concentrates (burst/outage weeks); "
+               "multiple submission buys back latency at the cost of extra "
+               "broker traffic, as in the stationary experiments.\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -22,8 +23,26 @@ struct RunOutcome {
   double submissions = 0.0;
 };
 
+// Worker threads write adjacent BlockSums concurrently; without padding,
+// neighbours in the std::vector share a cache line and every add() ping-pongs
+// it between cores. GCC flags any use of the constant as tuning-dependent
+// (-Winterference-size); that is fine here — padding is an optimization, not
+// ABI, so pin the build-time value.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+#ifdef __cpp_lib_hardware_interference_size
+constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+constexpr std::size_t kCacheLine = 64;
+#endif
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 /// Per-block accumulators (combined deterministically in block order).
-struct BlockSums {
+struct alignas(kCacheLine) BlockSums {
   numerics::KahanAccumulator j, j2, job_seconds, submissions, ratio;
   std::size_t count = 0;
 

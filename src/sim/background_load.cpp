@@ -1,6 +1,5 @@
 #include "sim/background_load.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "stats/lognormal.hpp"
@@ -14,9 +13,12 @@ BackgroundLoad::BackgroundLoad(Simulator& sim, WorkloadManager& wms,
   if (!(config.arrival_rate >= 0.0)) {
     throw std::invalid_argument("BackgroundLoad: negative arrival rate");
   }
-  const double sigma = config.runtime_sigma_log;
-  const double mu = std::log(config.runtime_mean) - 0.5 * sigma * sigma;
-  runtime_dist_ = std::make_unique<stats::LogNormal>(mu, sigma);
+  // The factory validates runtime_mean > 0 and runtime_sigma_log >= 0 —
+  // log(mean <= 0) would otherwise silently poison mu (NaN/-inf) and every
+  // runtime sample drawn after it.
+  runtime_dist_ = std::make_unique<stats::LogNormal>(
+      stats::LogNormal::from_mean_and_sigma_log(config.runtime_mean,
+                                                config.runtime_sigma_log));
   if (config.arrival_rate > 0.0) schedule_next();
 }
 

@@ -48,6 +48,13 @@ GridSimulation::GridSimulation(const GridConfig& config)
       sim_, *wms_, config.background, root_rng_.split());
 }
 
+ReplayLoad& GridSimulation::attach_replay(const traces::Workload& workload,
+                                          const ReplayLoadConfig& config) {
+  replays_.push_back(std::make_unique<ReplayLoad>(sim_, *wms_, workload,
+                                                  config, root_rng_.split()));
+  return *replays_.back();
+}
+
 void GridSimulation::warm_up(SimTime duration) {
   if (duration < 0.0) {
     throw std::invalid_argument("GridSimulation::warm_up: negative duration");

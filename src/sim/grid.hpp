@@ -13,6 +13,7 @@
 #include "sim/background_load.hpp"
 #include "sim/computing_element.hpp"
 #include "sim/metrics.hpp"
+#include "sim/replay_load.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wms.hpp"
 #include "stats/rng.hpp"
@@ -55,6 +56,13 @@ class GridSimulation {
   /// Derives an independent RNG stream for client components.
   [[nodiscard]] stats::Rng make_rng() { return root_rng_.split(); }
 
+  /// Attaches a trace-replay workload source feeding this grid's WMS,
+  /// starting at the current simulation time. Typically paired with
+  /// `config.background.arrival_rate = 0` so the recorded workload is the
+  /// only background traffic. The grid owns the returned source.
+  ReplayLoad& attach_replay(const traces::Workload& workload,
+                            const ReplayLoadConfig& config = {});
+
   /// Warms the system up: runs `duration` seconds of background-only
   /// traffic so queues reach steady state before measurement.
   void warm_up(SimTime duration);
@@ -66,6 +74,7 @@ class GridSimulation {
   std::vector<std::unique_ptr<ComputingElement>> ces_;
   std::unique_ptr<WorkloadManager> wms_;
   std::unique_ptr<BackgroundLoad> background_;
+  std::vector<std::unique_ptr<ReplayLoad>> replays_;
 };
 
 }  // namespace gridsub::sim

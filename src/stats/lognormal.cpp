@@ -22,6 +22,19 @@ LogNormal LogNormal::from_moments(double mean, double stddev) {
   return LogNormal(mu, std::sqrt(sigma2));
 }
 
+LogNormal LogNormal::from_mean_and_sigma_log(double mean, double sigma_log) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument(
+        "LogNormal::from_mean_and_sigma_log: mean must be > 0");
+  }
+  if (!(sigma_log >= 0.0)) {
+    throw std::invalid_argument(
+        "LogNormal::from_mean_and_sigma_log: sigma_log must be >= 0");
+  }
+  const double sigma = sigma_log > 0.0 ? sigma_log : 1e-12;
+  return LogNormal(std::log(mean) - 0.5 * sigma * sigma, sigma);
+}
+
 double LogNormal::pdf(double x) const {
   if (x <= 0.0) return 0.0;
   const double z = (std::log(x) - mu_) / sigma_;

@@ -18,6 +18,14 @@ class LogNormal final : public Distribution {
   /// deviation match the arguments (both > 0).
   static LogNormal from_moments(double mean, double stddev);
 
+  /// Mean-preserving construction from the untruncated mean and the log
+  /// standard deviation: mu = log(mean) - sigma_log^2/2. Requires
+  /// mean > 0 and sigma_log >= 0; sigma_log == 0 is floored to 1e-12,
+  /// i.e. effectively deterministic runtimes. Shared by the workload
+  /// generators so the derivation and degenerate-sigma policy live in one
+  /// audited place.
+  static LogNormal from_mean_and_sigma_log(double mean, double sigma_log);
+
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;

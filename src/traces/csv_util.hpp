@@ -1,0 +1,37 @@
+#pragma once
+
+// Internal helpers shared by the traces CSV readers (trace_io, workload).
+// One definition of the whitespace/CRLF tolerance rules, so the probe-trace
+// and workload formats cannot drift in what they accept.
+
+#include <string>
+
+namespace gridsub::traces::detail {
+
+/// Trims spaces, tabs, and CRs from both ends (CSV files written on
+/// Windows end lines with \r\n; getline leaves the \r on the last field).
+inline std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+/// Removes a trailing CR in place (call right after getline).
+inline void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// Parses a `# key=value` metadata comment (leading '#' already verified
+/// by the caller). Returns false when the line carries no '='; key and
+/// value come back trimmed.
+inline bool parse_comment_kv(const std::string& line, std::string& key,
+                             std::string& value) {
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  key = trim(line.substr(1, eq - 1));
+  value = trim(line.substr(eq + 1));
+  return true;
+}
+
+}  // namespace gridsub::traces::detail

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "stats/lognormal.hpp"
+
 namespace gridsub::traces {
 
 Trace generate_probe_campaign(const stats::Distribution& bulk,
@@ -113,6 +115,38 @@ Trace match_sample_moments(const Trace& trace, double target_mean,
     out.add_record(corrected);
   }
   return out;
+}
+
+Workload generate_workload(const std::function<double(double)>& rate_fn,
+                           const WorkloadGenConfig& config) {
+  if (!rate_fn) {
+    throw std::invalid_argument("generate_workload: null rate function");
+  }
+  if (!(config.peak_rate > 0.0)) {
+    throw std::invalid_argument("generate_workload: peak_rate must be > 0");
+  }
+  if (!(config.duration > 0.0)) {
+    throw std::invalid_argument("generate_workload: duration must be > 0");
+  }
+  stats::Rng rng(config.seed);
+  // Validates runtime_mean > 0 and runtime_sigma_log >= 0.
+  const stats::LogNormal runtime_dist = stats::LogNormal::from_mean_and_sigma_log(
+      config.runtime_mean, config.runtime_sigma_log);
+
+  Workload w(config.name);
+  // Lewis-Shedler thinning: candidate arrivals at the envelope rate, each
+  // kept with probability rate(t)/peak.
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(config.peak_rate);
+    if (t >= config.duration) break;
+    const double rate =
+        std::clamp(rate_fn(t), 0.0, config.peak_rate);
+    if (rng.uniform01() <= rate / config.peak_rate) {
+      w.add_job(t, runtime_dist.sample(rng));
+    }
+  }
+  return w;
 }
 
 }  // namespace gridsub::traces

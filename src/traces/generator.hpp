@@ -10,10 +10,12 @@
 // Trace with realistic submission timestamps.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "stats/distribution.hpp"
 #include "traces/trace.hpp"
+#include "traces/workload.hpp"
 
 namespace gridsub::traces {
 
@@ -42,5 +44,23 @@ Trace generate_probe_campaign(const stats::Distribution& bulk,
 /// Requires at least two completed probes and positive targets.
 Trace match_sample_moments(const Trace& trace, double target_mean,
                            double target_stddev, double floor = 1.0);
+
+/// Parameters of a synthetic workload (job-arrival) generation run.
+struct WorkloadGenConfig {
+  std::string name = "synthetic-load";
+  double duration = 604800.0;      ///< horizon in seconds (default: 1 week)
+  double peak_rate = 1.0;          ///< thinning envelope: >= sup rate_fn (1/s)
+  double runtime_mean = 2200.0;    ///< log-normal runtime mean (s)
+  double runtime_sigma_log = 1.1;  ///< log-normal runtime shape
+  std::uint64_t seed = 1;          ///< RNG seed (fully deterministic)
+};
+
+/// Draws job arrivals from the non-homogeneous Poisson process with
+/// instantaneous rate `rate_fn(t)` over [0, duration) via Lewis-Shedler
+/// thinning under the `peak_rate` envelope, with log-normal runtimes.
+/// rate_fn values are clamped into [0, peak_rate]; requires peak_rate > 0,
+/// duration > 0, runtime_mean > 0. Deterministic in the seed.
+Workload generate_workload(const std::function<double(double)>& rate_fn,
+                           const WorkloadGenConfig& config);
 
 }  // namespace gridsub::traces

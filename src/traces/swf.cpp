@@ -1,0 +1,99 @@
+#include "traces/swf.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "traces/csv_util.hpp"
+
+namespace gridsub::traces {
+
+namespace {
+
+// SWF field indices (0-based; the format numbers them 1-18).
+constexpr std::size_t kFieldSubmit = 1;
+constexpr std::size_t kFieldRuntime = 3;
+constexpr std::size_t kFieldRequestedTime = 8;
+constexpr std::size_t kFieldUser = 11;
+constexpr std::size_t kFieldGroup = 12;
+
+double field_or(const std::vector<double>& fields, std::size_t index,
+                double fallback) {
+  return index < fields.size() ? fields[index] : fallback;
+}
+
+/// SWF ids are non-negative small integers; -1 means missing. Anything
+/// negative, NaN, or beyond int range (corrupt archive) maps to "unknown"
+/// instead of hitting the UB of an out-of-range double->int cast.
+int to_id(double v) {
+  if (!(v >= 0.0) || v > 2147483646.0) return -1;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Workload read_swf(std::istream& is, const std::string& name,
+                  const SwfReadOptions& options, SwfReadReport* report) {
+  Workload w(name);
+  SwfReadReport local;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    detail::strip_cr(line);
+    // Comments may appear anywhere, possibly indented.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') continue;
+    if (options.max_jobs != 0 && w.size() >= options.max_jobs) {
+      // Stop streaming: on a multi-million-line archive, --max-jobs should
+      // make the read cheap, not just the result small.
+      local.truncated_at = line_no;
+      break;
+    }
+    ++local.lines;
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double v = 0.0;
+    while (ls >> v) fields.push_back(v);
+    if (!ls.eof()) {
+      throw std::runtime_error("swf: non-numeric field on line " +
+                               std::to_string(line_no));
+    }
+    if (fields.size() <= kFieldRuntime) {
+      throw std::runtime_error("swf: truncated line " +
+                               std::to_string(line_no) + " (" +
+                               std::to_string(fields.size()) + " fields)");
+    }
+    const double submit = fields[kFieldSubmit];
+    double runtime = fields[kFieldRuntime];
+    if (runtime < 0.0 && options.requested_time_fallback) {
+      runtime = field_or(fields, kFieldRequestedTime, -1.0);
+    }
+    if (submit < 0.0 || runtime < 0.0) {
+      ++local.dropped;
+      continue;
+    }
+    const int user = to_id(field_or(fields, kFieldUser, -1.0));
+    const int group = to_id(field_or(fields, kFieldGroup, -1.0));
+    w.add_job(submit, runtime, user, group);
+    ++local.accepted;
+  }
+  w.sort_by_arrival();
+  w.rebase_to_zero();
+  if (report != nullptr) *report = local;
+  return w;
+}
+
+Workload read_swf_file(const std::string& path, const SwfReadOptions& options,
+                       SwfReadReport* report) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_swf_file: cannot open " + path);
+  const auto slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return read_swf(is, name, options, report);
+}
+
+}  // namespace gridsub::traces

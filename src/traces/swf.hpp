@@ -1,0 +1,56 @@
+#pragma once
+
+// Standard Workload Format (SWF) reader.
+//
+// SWF is the Parallel Workloads Archive interchange format used by the
+// grid-workload studies the ROADMAP cites (Medernach's LPC analysis,
+// Guazzone's grid mining): one job per line, 18 whitespace-separated
+// fields, `;`-prefixed comment/header lines. We project each job onto the
+// four columns the replay subsystem needs — submit time, runtime, user id,
+// group id — and normalize the result into a Workload (sorted by arrival,
+// rebased to t=0).
+//
+// The reader is deliberately tolerant of the archive's real-world warts:
+// CRLF line endings, blank lines, comments anywhere, and the `-1`
+// missing-value convention (a missing runtime falls back to the requested
+// time; jobs with no usable runtime or a negative submit time are
+// dropped and counted, not fatal). Structurally malformed data lines
+// (fewer than 4 fields, non-numeric values) throw std::runtime_error with
+// the offending line number.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "traces/workload.hpp"
+
+namespace gridsub::traces {
+
+struct SwfReadOptions {
+  std::size_t max_jobs = 0;  ///< stop after this many accepted jobs (0 = all)
+  /// When the measured runtime (field 4) is missing (-1), substitute the
+  /// requested time (field 9) if present.
+  bool requested_time_fallback = true;
+};
+
+/// Per-parse accounting, filled by read_swf.
+struct SwfReadReport {
+  std::size_t lines = 0;          ///< data lines seen (comments excluded)
+  std::size_t accepted = 0;       ///< jobs kept
+  std::size_t dropped = 0;        ///< jobs skipped (missing runtime/submit)
+  std::size_t truncated_at = 0;   ///< lines ignored after max_jobs (0 = none)
+};
+
+/// Parses SWF text into a Workload named `name`. See header comment for
+/// tolerance rules; `report` (optional) receives parse accounting.
+Workload read_swf(std::istream& is, const std::string& name,
+                  const SwfReadOptions& options = {},
+                  SwfReadReport* report = nullptr);
+
+/// Opens and parses an SWF file; the workload is named after the path's
+/// final component.
+Workload read_swf_file(const std::string& path,
+                       const SwfReadOptions& options = {},
+                       SwfReadReport* report = nullptr);
+
+}  // namespace gridsub::traces

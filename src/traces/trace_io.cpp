@@ -1,12 +1,18 @@
 #include "traces/trace_io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "traces/csv_util.hpp"
 
 namespace gridsub::traces {
 
 namespace {
+
+using detail::strip_cr;
+using detail::trim;
 
 const char* status_label(ProbeStatus s) {
   switch (s) {
@@ -30,6 +36,10 @@ ProbeStatus parse_status(const std::string& s) {
 }  // namespace
 
 void write_csv(std::ostream& os, const Trace& trace) {
+  // Full round-trip precision (the 6-sig-fig default quantizes week-scale
+  // submit times).
+  const auto saved = os.precision(
+      std::numeric_limits<double>::max_digits10);
   os << "# name=" << trace.name() << "\n";
   os << "# timeout=" << trace.timeout() << "\n";
   os << "submit_time,latency,status\n";
@@ -37,6 +47,7 @@ void write_csv(std::ostream& os, const Trace& trace) {
     os << r.submit_time << ',' << r.latency << ',' << status_label(r.status)
        << '\n';
   }
+  os.precision(saved);
 }
 
 void write_csv_file(const std::string& path, const Trace& trace) {
@@ -52,14 +63,11 @@ Trace read_csv(std::istream& is) {
   bool header_seen = false;
   std::vector<ProbeRecord> records;
   while (std::getline(is, line)) {
+    strip_cr(line);
     if (line.empty()) continue;
     if (line[0] == '#') {
-      const auto eq = line.find('=');
-      if (eq != std::string::npos) {
-        std::string key = line.substr(1, eq - 1);
-        key.erase(0, key.find_first_not_of(' '));
-        key.erase(key.find_last_not_of(' ') + 1);
-        const std::string value = line.substr(eq + 1);
+      std::string key, value;
+      if (detail::parse_comment_kv(line, key, value)) {
         if (key == "name") {
           name = value;
         } else if (key == "timeout") {
@@ -85,7 +93,7 @@ Trace read_csv(std::istream& is) {
     ProbeRecord r;
     r.submit_time = std::stod(submit_str);
     r.latency = std::stod(latency_str);
-    r.status = parse_status(status_str);
+    r.status = parse_status(trim(status_str));
     records.push_back(r);
   }
   Trace trace(name, timeout);

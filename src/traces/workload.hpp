@@ -1,0 +1,98 @@
+#pragma once
+
+// Recorded grid workloads for trace replay.
+//
+// A Workload is an ordered log of job arrivals (arrival time, runtime,
+// user/group ids) — the minimal SWF projection the DES simulator needs to
+// replay realistic *non-stationary* load (diurnal cycles, submission
+// bursts, outage backlogs) instead of the stationary Poisson
+// BackgroundLoad. Sources: parsed SWF archives (traces/swf.hpp), the
+// repo's workload CSV (this header), or the synthetic scenario library
+// (traces/scenarios.hpp).
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridsub::traces {
+
+/// One recorded job arrival.
+struct WorkloadJob {
+  double arrival = 0.0;  ///< seconds since workload start
+  double runtime = 0.0;  ///< execution time on one slot (s)
+  int user = -1;         ///< submitting user id (-1 = unknown)
+  int group = -1;        ///< submitting group id (-1 = unknown)
+};
+
+/// Aggregate shape statistics; benches/tests use these to characterize
+/// non-stationarity without running a replay.
+struct WorkloadStats {
+  std::size_t jobs = 0;
+  double duration = 0.0;      ///< last arrival time (s)
+  double mean_rate = 0.0;     ///< jobs per second over [0, duration]
+  double peak_hourly_rate = 0.0;  ///< max jobs/s over hourly buckets
+  double mean_runtime = 0.0;
+  /// peak_hourly_rate / mean_rate: 1 for a flat profile, larger for
+  /// bursty/diurnal workloads.
+  double burstiness = 0.0;
+};
+
+/// Time-ordered job log with a provenance name.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a job. Arrivals need not arrive pre-sorted; call
+  /// sort_by_arrival() before replaying.
+  void add_job(const WorkloadJob& job) { jobs_.push_back(job); }
+  void add_job(double arrival, double runtime, int user = -1,
+               int group = -1) {
+    jobs_.push_back(WorkloadJob{arrival, runtime, user, group});
+  }
+
+  /// Stable sort by arrival time (preserves tie order).
+  void sort_by_arrival();
+
+  /// Shifts arrivals so the first (sorted) job arrives at 0.
+  void rebase_to_zero();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] std::span<const WorkloadJob> jobs() const { return jobs_; }
+
+  /// Last arrival time; 0 for an empty workload.
+  [[nodiscard]] double duration() const;
+
+  /// Jobs with arrival in [t0, t1), arrivals rebased so t0 maps to 0.
+  /// Requires t1 >= t0 and a sorted workload for a contiguous cut (the
+  /// selection itself works on unsorted logs too).
+  [[nodiscard]] Workload window(double t0, double t1) const;
+
+  /// Multiplies every arrival by `factor` (> 0): factor < 1 compresses the
+  /// timeline (denser load), factor > 1 stretches it.
+  void scale_time(double factor);
+
+  /// Multiplies every runtime by `factor` (> 0).
+  void scale_runtime(double factor);
+
+  [[nodiscard]] WorkloadStats stats() const;
+
+ private:
+  std::string name_ = "unnamed";
+  std::vector<WorkloadJob> jobs_;
+};
+
+/// Repo workload CSV: `# name=<name>` metadata, an
+/// `arrival_time,runtime,user,group` header line, one row per job.
+/// The reader tolerates CRLF line endings, comment lines, and surrounding
+/// whitespace; malformed rows throw std::runtime_error.
+void write_workload_csv(std::ostream& os, const Workload& w);
+void write_workload_csv_file(const std::string& path, const Workload& w);
+Workload read_workload_csv(std::istream& is);
+Workload read_workload_csv_file(const std::string& path);
+
+}  // namespace gridsub::traces

@@ -1,0 +1,123 @@
+#include "traces/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traces/generator.hpp"
+
+namespace gridsub::traces {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig c;
+  c.base_rate = 0.05;
+  c.duration = 2.0 * 86400.0;  // two days keeps the suite fast
+  c.seed = 42;
+  return c;
+}
+
+TEST(Scenarios, NamesAndUnknownName) {
+  const auto names = replay_scenario_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.front(), "stationary-week");
+  EXPECT_THROW(make_scenario("no-such-week", small_config()),
+               std::out_of_range);
+}
+
+TEST(Scenarios, DeterministicInSeed) {
+  const auto config = small_config();
+  const Workload a = make_scenario("diurnal-week", config);
+  const Workload b = make_scenario("diurnal-week", config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].arrival, b.jobs()[i].arrival);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].runtime, b.jobs()[i].runtime);
+  }
+  auto other = config;
+  other.seed = 43;
+  const Workload c = make_scenario("diurnal-week", other);
+  EXPECT_NE(a.size(), c.size());  // different draw (overwhelmingly likely)
+}
+
+TEST(Scenarios, NormalizedToSameAverageRate) {
+  // All shapes distribute the same expected job mass over the horizon.
+  const auto config = small_config();
+  const double expected =
+      config.base_rate * config.duration;  // = 8640 jobs
+  for (const auto& name : replay_scenario_names()) {
+    const Workload w = make_scenario(name, config);
+    EXPECT_NEAR(static_cast<double>(w.size()), expected, 0.08 * expected)
+        << name;
+  }
+}
+
+TEST(Scenarios, NonStationaryShapesAreBurstier) {
+  const auto config = small_config();
+  const double flat =
+      make_scenario("stationary-week", config).stats().burstiness;
+  const double burst = make_scenario("burst-week", config).stats().burstiness;
+  const double diurnal =
+      make_scenario("diurnal-week", config).stats().burstiness;
+  EXPECT_LT(flat, 1.6);
+  EXPECT_GT(burst, flat + 0.5);
+  EXPECT_GT(diurnal, flat + 0.2);
+}
+
+TEST(Scenarios, OutageWeekHasDeadWindow) {
+  ScenarioConfig config;
+  config.base_rate = 0.05;
+  config.duration = 5.0 * 86400.0;  // cover the day-3 outage + flush
+  config.seed = 7;
+  const Workload w = make_scenario("outage-week", config);
+  const double outage_start = 3.0 * 86400.0;
+  const double flush_start = outage_start + 12.0 * 3600.0;
+  EXPECT_TRUE(w.window(outage_start, flush_start).empty());
+  // The flush carries roughly 3x the normal rate.
+  const auto flush = w.window(flush_start, 4.0 * 86400.0);
+  const auto normal = w.window(0.0, 12.0 * 3600.0);
+  EXPECT_GT(static_cast<double>(flush.size()),
+            1.5 * static_cast<double>(normal.size()));
+}
+
+TEST(Scenarios, ShortDurationBelowSamplingStepWorks) {
+  // The normalization grid caps its step at the duration; a 20 s horizon
+  // used to take zero samples and throw a bogus "degenerate shape" error.
+  ScenarioConfig config;
+  config.base_rate = 1.0;
+  config.duration = 20.0;
+  config.seed = 3;
+  const Workload w = make_scenario("stationary-week", config);
+  EXPECT_LE(w.duration(), 20.0);
+}
+
+TEST(Scenarios, RejectsBadConfig) {
+  ScenarioConfig config;
+  config.base_rate = 0.0;
+  EXPECT_THROW(make_scenario("stationary-week", config),
+               std::invalid_argument);
+  config.base_rate = 0.1;
+  config.duration = -1.0;
+  EXPECT_THROW(make_scenario("stationary-week", config),
+               std::invalid_argument);
+}
+
+TEST(GenerateWorkload, ValidatesAndHonorsRateFn) {
+  WorkloadGenConfig config;
+  config.duration = 10000.0;
+  config.peak_rate = 0.5;
+  config.seed = 11;
+  EXPECT_THROW(generate_workload(nullptr, config), std::invalid_argument);
+  auto bad = config;
+  bad.peak_rate = 0.0;
+  EXPECT_THROW(generate_workload([](double) { return 0.1; }, bad),
+               std::invalid_argument);
+  // Zero rate produces an empty workload; full envelope rate fills it.
+  const Workload none =
+      generate_workload([](double) { return 0.0; }, config);
+  EXPECT_TRUE(none.empty());
+  const Workload full =
+      generate_workload([](double) { return 0.5; }, config);
+  EXPECT_NEAR(static_cast<double>(full.size()), 5000.0, 500.0);
+}
+
+}  // namespace
+}  // namespace gridsub::traces

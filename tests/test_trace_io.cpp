@@ -42,6 +42,46 @@ TEST(TraceIo, FileRoundTrip) {
   EXPECT_EQ(restored.name(), original.name());
 }
 
+TEST(TraceIo, CrlfFileRoundTrips) {
+  // A CSV written on Windows terminates lines with \r\n; getline leaves
+  // the \r on the status field, which used to throw "unknown status
+  // 'completed\r'". The whole fixture uses CRLF, including the comment
+  // headers.
+  std::stringstream ss;
+  ss << "# name=crlf-week\r\n"
+     << "# timeout=9000\r\n"
+     << "submit_time,latency,status\r\n"
+     << "0,123.25,completed\r\n"
+     << "50.5,456,completed\r\n"
+     << "100,9000,outlier\r\n"
+     << "150.75,9000,fault\r\n";
+  const Trace t = read_csv(ss);
+  EXPECT_EQ(t.name(), "crlf-week");
+  EXPECT_DOUBLE_EQ(t.timeout(), 9000.0);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.records()[0].status, ProbeStatus::kCompleted);
+  EXPECT_EQ(t.records()[2].status, ProbeStatus::kOutlier);
+  EXPECT_EQ(t.records()[3].status, ProbeStatus::kFault);
+  EXPECT_DOUBLE_EQ(t.records()[1].latency, 456.0);
+}
+
+TEST(TraceIo, TrimsNameValueLikeKey) {
+  std::stringstream ss;
+  ss << "#  name =  padded-name  \n"
+     << "submit_time,latency,status\n"
+     << "0,1,completed\n";
+  const Trace t = read_csv(ss);
+  EXPECT_EQ(t.name(), "padded-name");
+}
+
+TEST(TraceIo, StatusWithTrailingSpacesParses) {
+  std::stringstream ss;
+  ss << "submit_time,latency,status\n0,1,completed  \n";
+  const Trace t = read_csv(ss);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].status, ProbeStatus::kCompleted);
+}
+
 TEST(TraceIo, RejectsUnknownStatus) {
   std::stringstream ss;
   ss << "submit_time,latency,status\n0,1,weird\n";

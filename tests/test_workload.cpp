@@ -1,0 +1,139 @@
+#include "traces/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gridsub::traces {
+namespace {
+
+Workload sample_workload() {
+  Workload w("sample");
+  w.add_job(0.0, 100.0, 7, 1);
+  w.add_job(30.0, 50.0, 8, 1);
+  w.add_job(90.0, 200.0, 7, 2);
+  w.add_job(3600.0, 10.0);
+  return w;
+}
+
+TEST(Workload, CsvRoundTrips) {
+  const Workload original = sample_workload();
+  std::stringstream ss;
+  write_workload_csv(ss, original);
+  const Workload restored = read_workload_csv(ss);
+  EXPECT_EQ(restored.name(), original.name());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].arrival, original.jobs()[i].arrival);
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].runtime, original.jobs()[i].runtime);
+    EXPECT_EQ(restored.jobs()[i].user, original.jobs()[i].user);
+    EXPECT_EQ(restored.jobs()[i].group, original.jobs()[i].group);
+  }
+}
+
+TEST(Workload, CsvPreservesFullPrecision) {
+  // Week-scale arrivals with sub-second offsets must survive the
+  // round-trip; the 6-sig-fig ostream default would quantize them.
+  Workload w("precise");
+  w.add_job(604800.25, 0.125);
+  w.add_job(24192000.5, 1.0 / 3.0);
+  std::stringstream ss;
+  write_workload_csv(ss, w);
+  const Workload r = read_workload_csv(ss);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.jobs()[0].arrival, 604800.25);
+  EXPECT_DOUBLE_EQ(r.jobs()[0].runtime, 0.125);
+  EXPECT_DOUBLE_EQ(r.jobs()[1].arrival, 24192000.5);
+  EXPECT_DOUBLE_EQ(r.jobs()[1].runtime, 1.0 / 3.0);
+}
+
+TEST(Workload, CsvReadsCrlfAndComments) {
+  std::stringstream ss;
+  ss << "# name=windows-week\r\n"
+     << "arrival_time,runtime,user,group\r\n"
+     << "0,100,7,1\r\n"
+     << "# a stray comment between rows\r\n"
+     << "30,50,-1,-1\r\n";
+  const Workload w = read_workload_csv(ss);
+  EXPECT_EQ(w.name(), "windows-week");
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.jobs()[1].arrival, 30.0);
+  EXPECT_EQ(w.jobs()[1].user, -1);
+}
+
+TEST(Workload, CsvRejectsMalformedRow) {
+  std::stringstream ss;
+  ss << "arrival_time,runtime,user,group\n0,100\n";
+  EXPECT_THROW(read_workload_csv(ss), std::runtime_error);
+}
+
+TEST(Workload, CsvRejectsNonNumericRow) {
+  std::stringstream ss;
+  ss << "arrival_time,runtime,user,group\n0,abc,1,1\n";
+  EXPECT_THROW(read_workload_csv(ss), std::runtime_error);
+}
+
+TEST(Workload, CsvRejectsMissingHeader) {
+  std::stringstream ss;
+  ss << "0,100,1,1\n";
+  EXPECT_THROW(read_workload_csv(ss), std::runtime_error);
+}
+
+TEST(Workload, CsvReaderSortsByArrival) {
+  std::stringstream ss;
+  ss << "arrival_time,runtime,user,group\n"
+     << "90,1,0,0\n"
+     << "10,1,0,0\n"
+     << "50,1,0,0\n";
+  const Workload w = read_workload_csv(ss);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.jobs()[0].arrival, 10.0);
+  EXPECT_DOUBLE_EQ(w.jobs()[2].arrival, 90.0);
+}
+
+TEST(Workload, WindowCutsAndRebases) {
+  const Workload w = sample_workload();
+  const Workload cut = w.window(30.0, 3600.0);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut.jobs()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(cut.jobs()[1].arrival, 60.0);
+  EXPECT_THROW(w.window(10.0, 5.0), std::invalid_argument);
+}
+
+TEST(Workload, ScalingKnobs) {
+  Workload w = sample_workload();
+  w.scale_time(0.5);
+  EXPECT_DOUBLE_EQ(w.duration(), 1800.0);
+  w.scale_runtime(2.0);
+  EXPECT_DOUBLE_EQ(w.jobs()[0].runtime, 200.0);
+  EXPECT_THROW(w.scale_time(0.0), std::invalid_argument);
+  EXPECT_THROW(w.scale_runtime(-1.0), std::invalid_argument);
+}
+
+TEST(Workload, RebaseToZero) {
+  Workload w("offset");
+  w.add_job(1000.0, 1.0);
+  w.add_job(1500.0, 1.0);
+  w.rebase_to_zero();
+  EXPECT_DOUBLE_EQ(w.jobs()[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(w.jobs()[1].arrival, 500.0);
+}
+
+TEST(Workload, StatsCaptureBurstiness) {
+  // 100 jobs in the first hour, 1 job much later: strongly bursty.
+  Workload w("bursty");
+  for (int i = 0; i < 100; ++i) w.add_job(i * 30.0, 10.0);
+  w.add_job(10.0 * 3600.0, 10.0);
+  const auto s = w.stats();
+  EXPECT_EQ(s.jobs, 101u);
+  EXPECT_DOUBLE_EQ(s.duration, 36000.0);
+  EXPECT_GT(s.burstiness, 5.0);
+
+  Workload empty;
+  const auto e = empty.stats();
+  EXPECT_EQ(e.jobs, 0u);
+  EXPECT_DOUBLE_EQ(e.mean_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace gridsub::traces
