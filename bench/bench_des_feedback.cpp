@@ -4,15 +4,16 @@
 // the same b on the DES grid; we measure how the latency they experience
 // and the broker load inflate as b grows — the administrators' concern
 // quantified.
+//
+// The b sweep is one campaign on the experiment engine: a single
+// stationary scenario, one strategy per b, 24 clients per cell.
 
 #include <iostream>
-#include <memory>
-#include <vector>
+#include <string>
 
 #include "bench_util.hpp"
+#include "exp/experiment.hpp"
 #include "report/table.hpp"
-#include "sim/grid.hpp"
-#include "sim/strategy_client.hpp"
 
 int main() {
   using namespace gridsub;
@@ -20,53 +21,44 @@ int main() {
                       "paper §8 future work: everyone adopts the strategy",
                       "DES grid, 24 concurrent clients, 40 tasks each");
 
-  constexpr int kClients = 24;
-  constexpr std::size_t kTasksPerClient = 40;
+  exp::ExperimentSpec spec;
+  spec.name = "des_feedback";
+  {
+    exp::ScenarioCase sc;
+    sc.label = "egee(bg=0.35)";
+    sc.grid = sim::GridConfig::egee_like();
+    sc.grid.background.arrival_rate = 0.35;
+    spec.scenarios.push_back(std::move(sc));
+  }
+  for (const int b : {1, 2, 3, 5, 8}) {
+    sim::StrategySpec s;
+    s.kind = b == 1 ? core::StrategyKind::kSingleResubmission
+                    : core::StrategyKind::kMultipleSubmission;
+    s.b = b;
+    s.t_inf = 1500.0;
+    spec.strategies.push_back({"b=" + std::to_string(b), s});
+  }
+  spec.clients.clients_per_cell = 24;
+  spec.clients.tasks_per_client = 40;
+  spec.clients.warm_up = 30000.0;
+  spec.clients.horizon = 5e7;  // generous: all 960 tasks finish well before
+  spec.replications = 1;       // each cell is already a 24-client average
+  spec.root_seed = 20090611;
 
-  report::Table table({"b", "mean J (s)", "mean subs/task",
-                       "jobs submitted", "jobs canceled", "cancel frac",
+  const auto result = exp::run_experiment(spec);
+
+  report::Table table({"b", "mean J (s)", "mean subs/task", "jobs submitted",
+                       "jobs canceled", "cancel frac",
                        "mean queue wait (s)"});
-  for (int b : {1, 2, 3, 5, 8}) {
-    sim::GridConfig config = sim::GridConfig::egee_like();
-    config.background.arrival_rate = 0.35;
-    sim::GridSimulation grid(config);
-    grid.warm_up(30000.0);
-
-    std::vector<std::unique_ptr<sim::StrategyClient>> clients;
-    for (int c = 0; c < kClients; ++c) {
-      sim::StrategySpec spec;
-      spec.kind = b == 1 ? core::StrategyKind::kSingleResubmission
-                         : core::StrategyKind::kMultipleSubmission;
-      spec.b = b;
-      spec.t_inf = 1500.0;
-      clients.push_back(std::make_unique<sim::StrategyClient>(
-          grid, spec, kTasksPerClient));
-    }
-    const auto before = grid.metrics();
-    for (auto& c : clients) c->start();
-    grid.simulator().run_until(grid.simulator().now() + 5e7);
-
-    double mean_j = 0.0, mean_subs = 0.0;
-    std::size_t done = 0;
-    for (const auto& c : clients) {
-      mean_j += c->mean_latency() * static_cast<double>(c->outcomes().size());
-      mean_subs +=
-          c->mean_submissions() * static_cast<double>(c->outcomes().size());
-      done += c->outcomes().size();
-    }
-    mean_j /= static_cast<double>(done);
-    mean_subs /= static_cast<double>(done);
-    const auto& after = grid.metrics();
+  for (std::size_t s = 0; s < spec.strategies.size(); ++s) {
     table.row()
-        .cell(static_cast<long long>(b))
-        .cell(mean_j, 1)
-        .cell(mean_subs, 2)
-        .cell(static_cast<long long>(after.jobs_submitted -
-                                     before.jobs_submitted))
-        .cell(static_cast<long long>(after.jobs_canceled -
-                                     before.jobs_canceled))
-        .cell(after.cancel_fraction(), 3)
-        .cell(after.mean_queue_wait(), 1);
+        .cell(spec.strategies[s].label)
+        .cell(result.mean(0, s, "mean_J"), 1)
+        .cell(result.mean(0, s, "mean_subs"), 2)
+        .cell(static_cast<long long>(result.mean(0, s, "jobs_submitted")))
+        .cell(static_cast<long long>(result.mean(0, s, "jobs_canceled")))
+        .cell(result.mean(0, s, "cancel_frac"), 3)
+        .cell(result.mean(0, s, "mean_queue_wait"), 1);
   }
   table.print(std::cout);
   std::cout << "\ntakeaway: individual gains persist at moderate b, but "

@@ -2,15 +2,19 @@
 // parameters evaluated on every other week, with the "week before" column
 // (the paper's practical-implementation argument: estimating the optimum
 // from last week's traces costs only a few percent).
+//
+// Both stages run on the campaign engine: a (week × tune) campaign
+// optimizes each week's parameters concurrently, then a (target week ×
+// source week) campaign scores every transfer cell.
 
 #include <cmath>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/cost.hpp"
-#include "parallel/parallel_for.hpp"
+#include "exp/campaign.hpp"
 #include "report/table.hpp"
 
 int main() {
@@ -23,42 +27,70 @@ int main() {
                                           "2008-01", "2008-02", "2008-03",
                                           "2007/08"};
   struct WeekData {
-    model::DiscretizedLatencyModel model;
+    std::unique_ptr<model::DiscretizedLatencyModel> model;
+    std::unique_ptr<core::CostModel> cost;
     core::CostEvaluation opt;
   };
-  std::vector<WeekData> data;
-  data.reserve(weeks.size());
-  for (const auto& w : weeks) {
-    data.push_back({bench::load_model(w), {}});
-  }
-  par::parallel_for(0, static_cast<std::int64_t>(weeks.size()),
-                    [&](std::int64_t i) {
-                      const core::CostModel cost(data[i].model);
-                      data[i].opt = cost.optimize_delayed_cost();
-                    });
+  std::vector<WeekData> data(weeks.size());
+
+  const exp::CampaignRunner runner;
+
+  // Stage 1: per-week Δcost optimization (each cell owns its week's slot).
+  exp::CampaignAxes tune_axes;
+  tune_axes.name = "table6_tune";
+  tune_axes.scenario_axis = "week";
+  tune_axes.strategy_axis = "stage";
+  tune_axes.scenario_labels = weeks;
+  tune_axes.strategy_labels = {"tune"};
+  const auto tuned =
+      runner.run(tune_axes, [&](const exp::CellContext& ctx) {
+        WeekData& wd = data[ctx.scenario];
+        wd.model = std::make_unique<model::DiscretizedLatencyModel>(
+            bench::load_model(weeks[ctx.scenario]));
+        wd.cost = std::make_unique<core::CostModel>(*wd.model);
+        wd.opt = wd.cost->optimize_delayed_cost();
+        return exp::CellMetrics{{"t0", wd.opt.t0},
+                                {"t_inf", wd.opt.t_inf},
+                                {"E_J", wd.opt.expectation},
+                                {"d_cost", wd.opt.delta_cost}};
+      });
+  (void)tuned;
+
+  // Stage 2: the full transfer matrix — source week's parameters scored on
+  // the target week's model.
+  exp::CampaignAxes transfer_axes;
+  transfer_axes.name = "table6_transfer";
+  transfer_axes.scenario_axis = "evaluated on";
+  transfer_axes.strategy_axis = "params from";
+  transfer_axes.scenario_labels = weeks;
+  transfer_axes.strategy_labels = weeks;
+  const auto transfer =
+      runner.run(transfer_axes, [&](const exp::CellContext& ctx) {
+        const core::CostEvaluation& p = data[ctx.strategy].opt;
+        const auto e =
+            data[ctx.scenario].cost->evaluate_delayed(p.t0, p.t_inf);
+        return exp::CellMetrics{{"t0", p.t0},
+                                {"t_inf", p.t_inf},
+                                {"E_J", e.expectation},
+                                {"d_cost", e.delta_cost}};
+      });
 
   for (std::size_t target = 0; target < weeks.size(); ++target) {
-    const core::CostModel cost(data[target].model);
     std::cout << "evaluated on " << weeks[target] << ":\n";
     report::Table table({"params from", "t0", "t_inf", "E_J", "d_cost"});
-    double own = 0.0, max_diff = 0.0, prev_diff = std::nan("");
+    const double own = transfer.mean(target, target, "d_cost");
+    double max_diff = 0.0, prev_diff = std::nan("");
     for (std::size_t source = 0; source < weeks.size(); ++source) {
-      const auto& p = data[source].opt;
-      const auto e = cost.evaluate_delayed(p.t0, p.t_inf);
+      const double d_cost = transfer.mean(target, source, "d_cost");
       table.row()
           .cell(weeks[source] + (source == target ? " (own)" : ""))
-          .cell(p.t0, 0)
-          .cell(p.t_inf, 0)
-          .cell(report::seconds(e.expectation))
-          .cell(e.delta_cost, 3);
-      if (source == target) own = e.delta_cost;
-    }
-    for (std::size_t source = 0; source < weeks.size(); ++source) {
-      const auto& p = data[source].opt;
-      const auto e = cost.evaluate_delayed(p.t0, p.t_inf);
-      max_diff = std::max(max_diff, (e.delta_cost - own) / own);
+          .cell(transfer.mean(target, source, "t0"), 0)
+          .cell(transfer.mean(target, source, "t_inf"), 0)
+          .cell(report::seconds(transfer.mean(target, source, "E_J")))
+          .cell(d_cost, 3);
+      max_diff = std::max(max_diff, (d_cost - own) / own);
       if (target > 0 && source + 1 == target) {
-        prev_diff = (e.delta_cost - own) / own;
+        prev_diff = (d_cost - own) / own;
       }
     }
     table.print(std::cout);

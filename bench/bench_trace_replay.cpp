@@ -4,36 +4,33 @@
 // The paper evaluates strategies against per-week latency distributions
 // and concludes (§7) that parameters tuned on one week stay near-optimal
 // later. That only holds if performance is robust to *non-stationary*
-// load, which a stationary Poisson background cannot probe. Here each
-// strategy family runs on the DES grid while a recorded workload is
-// replayed as the background traffic: a diurnal/weekend cycle, a burst
-// week, and an outage-backlog week, all normalized to the same
-// time-averaged rate as the stationary control so only the load *shape*
-// differs. Fully seeded: output is bit-reproducible run to run.
+// load, which a stationary Poisson background cannot probe. Each strategy
+// family runs on the DES grid while a recorded workload is replayed as the
+// background traffic: a diurnal/weekend cycle, a burst week, and an
+// outage-backlog week, all normalized to the same time-averaged rate as
+// the stationary control so only the load *shape* differs.
+//
+// The (scenario × strategy × replication) sweep runs on the campaign
+// engine (src/exp): cells are sharded across the thread pool with
+// per-cell seeds split from the root seed, so the output is
+// bit-reproducible at any thread count.
 
-#include <cstdint>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exp/experiment.hpp"
 #include "report/table.hpp"
-#include "sim/grid.hpp"
-#include "sim/strategy_client.hpp"
 #include "traces/scenarios.hpp"
 
 namespace {
 
 using namespace gridsub;
 
-struct StrategyCase {
-  std::string label;
-  sim::StrategySpec spec;
-};
-
-std::vector<StrategyCase> strategy_cases() {
-  std::vector<StrategyCase> cases;
+std::vector<exp::StrategyCase> strategy_cases() {
+  std::vector<exp::StrategyCase> cases;
   {
     sim::StrategySpec s;
     s.kind = core::StrategyKind::kSingleResubmission;
@@ -57,47 +54,14 @@ std::vector<StrategyCase> strategy_cases() {
   return cases;
 }
 
-struct RunResult {
-  double mean_j = 0.0;
-  double mean_subs = 0.0;
-  std::size_t tasks_done = 0;
-};
-
-RunResult run_case(std::size_t scenario_index,
-                   const traces::Workload& workload,
-                   const sim::StrategySpec& spec) {
-  sim::GridConfig config = sim::GridConfig::egee_like();
-  // The replayed workload *is* the background traffic; silence the
-  // built-in Poisson source so the load shape comes from the trace alone.
-  config.background.arrival_rate = 0.0;
-  // Platform-independent seed derivation (no std::hash: its value is
-  // implementation-defined and would break bit-reproducibility).
-  config.seed = 20090611 + 1000003 * static_cast<std::uint64_t>(scenario_index);
-  sim::GridSimulation grid(config);
-  grid.attach_replay(workload);
-  // Let the morning of day 0 fill the queues before measuring.
-  grid.warm_up(6.0 * 3600.0);
-
-  // More tasks than a week can hold: the client stays active from warm-up
-  // to the horizon, so every load regime of the scenario is sampled.
-  sim::StrategyClient client(grid, spec, /*n_tasks=*/100000);
-  client.start();
-  grid.simulator().run_until(workload.duration());
-
-  RunResult r;
-  r.mean_j = client.mean_latency();
-  r.mean_subs = client.mean_submissions();
-  r.tasks_done = client.outcomes().size();
-  return r;
-}
-
 }  // namespace
 
 int main() {
   bench::print_header(
       "trace_replay",
       "paper §7 robustness: strategies under non-stationary replayed load",
-      "DES grid, one week per scenario, equal time-averaged rate");
+      "DES grid, one week per scenario, equal time-averaged rate, "
+      "4 replications per cell via the campaign engine");
 
   traces::ScenarioConfig scen;
   // ~74% average utilization of the egee_like grid (896 slots, 2200 s mean
@@ -106,13 +70,18 @@ int main() {
   scen.base_rate = 0.30;
   scen.seed = 20090611;
 
-  const auto names = traces::replay_scenario_names();
-  std::map<std::string, traces::Workload> workloads;
+  exp::ExperimentSpec spec;
+  spec.name = "trace_replay";
+  spec.strategies = strategy_cases();
+  spec.replications = 4;
+  spec.root_seed = 20090611;
+  spec.clients.warm_up = 6.0 * 3600.0;  // let day 0's morning fill queues
+
   report::Table shape({"scenario", "jobs", "mean rate (1/s)",
                        "peak hourly rate", "burstiness"});
-  for (const auto& name : names) {
-    workloads.emplace(name, traces::make_scenario(name, scen));
-    const auto stats = workloads.at(name).stats();
+  for (const auto& name : traces::replay_scenario_names()) {
+    spec.scenarios.push_back(bench::replay_scenario(name, scen));
+    const auto stats = spec.scenarios.back().workload->stats();
     shape.row()
         .cell(name)
         .cell(static_cast<long long>(stats.jobs))
@@ -125,25 +94,23 @@ int main() {
   shape.print(std::cout);
   std::cout << "\n";
 
-  const std::string baseline = names.front();  // stationary-week control
-  for (const auto& sc : strategy_cases()) {
-    report::Table table({"scenario", "tasks done", "mean J (s)",
+  const auto result = exp::run_experiment(spec);
+
+  for (std::size_t s = 0; s < spec.strategies.size(); ++s) {
+    report::Table table({"scenario", "tasks done", "mean J (s)", "+/-",
                          "mean subs/task", "J vs stationary"});
-    std::map<std::string, RunResult> results;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      results[names[i]] = run_case(i, workloads.at(names[i]), sc.spec);
-    }
-    const double base_j = results.at(baseline).mean_j;
-    for (const auto& name : names) {
-      const auto& r = results.at(name);
+    const double base_j = result.mean(0, s, "mean_J");
+    for (std::size_t sc = 0; sc < spec.scenarios.size(); ++sc) {
       table.row()
-          .cell(name)
-          .cell(static_cast<long long>(r.tasks_done))
-          .cell(r.mean_j, 1)
-          .cell(r.mean_subs, 2)
-          .cell(base_j > 0.0 ? r.mean_j / base_j : 0.0, 3);
+          .cell(spec.scenarios[sc].label)
+          .cell(static_cast<long long>(result.mean(sc, s, "tasks_done")))
+          .cell(result.mean(sc, s, "mean_J"), 1)
+          .cell(result.sem(sc, s, "mean_J"), 1)
+          .cell(result.mean(sc, s, "mean_subs"), 2)
+          .cell(base_j > 0.0 ? result.mean(sc, s, "mean_J") / base_j : 0.0,
+                3);
     }
-    std::cout << "strategy " << sc.label << ":\n";
+    std::cout << "strategy " << spec.strategies[s].label << ":\n";
     table.print(std::cout);
     std::cout << "\n";
   }

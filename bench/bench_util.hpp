@@ -1,13 +1,18 @@
 #pragma once
 
-// Shared helpers for the experiment harness: dataset-to-model plumbing and
-// consistent headers so every bench prints a self-describing report.
+// Shared helpers for the experiment harness: dataset-to-model plumbing,
+// campaign-spec builders, and consistent headers so every bench prints a
+// self-describing report.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "exp/experiment.hpp"
 #include "model/discretized.hpp"
 #include "traces/datasets.hpp"
+#include "traces/scenarios.hpp"
 
 namespace gridsub::bench {
 
@@ -20,6 +25,29 @@ inline model::DiscretizedLatencyModel load_model(const std::string& name,
                                                  double step = kStep) {
   const auto trace = traces::make_trace_by_name(name);
   return model::DiscretizedLatencyModel::from_trace(trace, step);
+}
+
+/// True when the bench runner asked for a fast smoke pass
+/// (GRIDSUB_BENCH_QUICK=1): campaign benches shrink replications, never
+/// axes, so coverage stays full while CI stays fast.
+inline bool quick_mode() {
+  const char* v = std::getenv("GRIDSUB_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Builds the campaign scenario for one synthetic replay week: an
+/// egee_like grid whose Poisson background is silenced (the replayed
+/// workload *is* the background traffic) plus the named scenario's
+/// workload, shared read-only across cells.
+inline exp::ScenarioCase replay_scenario(const std::string& name,
+                                         const traces::ScenarioConfig& scen) {
+  exp::ScenarioCase sc;
+  sc.label = name;
+  sc.grid = sim::GridConfig::egee_like();
+  sc.grid.background.arrival_rate = 0.0;
+  sc.workload = std::make_shared<const traces::Workload>(
+      traces::make_scenario(name, scen));
+  return sc;
 }
 
 /// Prints the standard bench header.

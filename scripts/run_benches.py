@@ -33,11 +33,16 @@ def git_revision(repo_root):
         return "unknown"
 
 
-def run_report_bench(path, timeout):
+def run_report_bench(path, timeout, quick):
+    # Campaign benches honour GRIDSUB_BENCH_QUICK=1 by shrinking
+    # replications (never axis coverage) so smoke runs stay fast. Set the
+    # variable explicitly both ways: a full run must not silently inherit
+    # quick mode from the caller's shell.
+    env = dict(os.environ, GRIDSUB_BENCH_QUICK="1" if quick else "0")
     start = time.monotonic()
     try:
         proc = subprocess.run([path], capture_output=True, text=True,
-                              timeout=timeout)
+                              timeout=timeout, env=env)
         elapsed = time.monotonic() - start
         return {
             "wall_seconds": round(elapsed, 4),
@@ -128,7 +133,7 @@ def main():
             entry = run_micro_bench(path, args.micro_json, args.quick,
                                     args.timeout)
         else:
-            entry = run_report_bench(path, args.timeout)
+            entry = run_report_bench(path, args.timeout, args.quick)
         report["results"][name] = entry
         if entry.get("exit_code") != 0 or entry.get("error"):
             failures += 1

@@ -1,0 +1,307 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace gridsub::exp {
+
+namespace {
+
+// Odd multipliers keep index 0 from collapsing the hash chain; the
+// constants are the SplitMix64 finalizer's own.
+constexpr std::uint64_t kScenarioSalt = 0x9E3779B97F4A7C15ull;
+constexpr std::uint64_t kStrategySalt = 0xBF58476D1CE4E5B9ull;
+constexpr std::uint64_t kReplicationSalt = 0x94D049BB133111EBull;
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Shortest round-trip representation via std::to_chars: byte-identical for
+// equal doubles, locale-independent, and re-parses to the same value.
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; emit null so consumers fail loudly, not subtly.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, r.ptr - buf);
+}
+
+}  // namespace
+
+std::uint64_t CampaignAxes::cell_seed(std::size_t scenario,
+                                      std::size_t strategy,
+                                      std::size_t replication) const {
+  // Chained SplitMix64: each field is folded into the *mixed* output of
+  // the previous step, so every index bit passes through a full finalizer
+  // before the next field lands (not just a linear accumulation).
+  std::uint64_t s = root_seed;
+  s = stats::splitmix64(s) ^
+      kScenarioSalt * (static_cast<std::uint64_t>(scenario) + 1);
+  s = stats::splitmix64(s) ^
+      kStrategySalt * (static_cast<std::uint64_t>(strategy) + 1);
+  s = stats::splitmix64(s) ^
+      kReplicationSalt * (static_cast<std::uint64_t>(replication) + 1);
+  return stats::splitmix64(s);
+}
+
+CellContext CampaignAxes::cell(std::size_t flat) const {
+  CellContext ctx;
+  ctx.flat = flat;
+  ctx.replication = flat % replications;
+  const std::size_t group = flat / replications;
+  ctx.strategy = group % strategy_labels.size();
+  ctx.scenario = group / strategy_labels.size();
+  ctx.seed = cell_seed(ctx.scenario, ctx.strategy, ctx.replication);
+  return ctx;
+}
+
+void CampaignAxes::validate() const {
+  if (scenario_labels.empty()) {
+    throw std::invalid_argument("CampaignAxes: no scenario labels");
+  }
+  if (strategy_labels.empty()) {
+    throw std::invalid_argument("CampaignAxes: no strategy labels");
+  }
+  if (replications == 0) {
+    throw std::invalid_argument("CampaignAxes: zero replications");
+  }
+}
+
+CampaignResult::CampaignResult(CampaignAxes axes,
+                               std::vector<CellResult> cells)
+    : axes_(std::move(axes)), cells_(std::move(cells)) {
+  // Aggregate in flat-index order: replications of one (scenario,
+  // strategy) group are contiguous, so each group folds in a fixed order
+  // regardless of the execution schedule.
+  const std::size_t reps = axes_.replications;
+  aggregates_.reserve(cells_.size() / std::max<std::size_t>(1, reps));
+  for (std::size_t base = 0; base + reps <= cells_.size(); base += reps) {
+    AggregateRow row;
+    row.scenario = cells_[base].context.scenario;
+    row.strategy = cells_[base].context.strategy;
+    row.replications = reps;
+    const CellMetrics& first = cells_[base].metrics;
+    row.metrics.reserve(first.size());
+    for (std::size_t m = 0; m < first.size(); ++m) {
+      AggregateRow::Metric metric;
+      metric.name = first[m].first;
+      double sum = 0.0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const CellMetrics& cell = cells_[base + r].metrics;
+        if (cell.size() != first.size() || cell[m].first != metric.name) {
+          throw std::logic_error(
+              "CampaignResult: replications of group (" +
+              axes_.scenario_labels[row.scenario] + ", " +
+              axes_.strategy_labels[row.strategy] +
+              ") emitted mismatched metric names");
+        }
+        sum += cell[m].second;
+      }
+      metric.mean = sum / static_cast<double>(reps);
+      if (reps > 1) {
+        double ss = 0.0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          const double d = cells_[base + r].metrics[m].second - metric.mean;
+          ss += d * d;
+        }
+        metric.sem = std::sqrt(ss / static_cast<double>(reps - 1) /
+                               static_cast<double>(reps));
+      }
+      row.metrics.push_back(std::move(metric));
+    }
+    aggregates_.push_back(std::move(row));
+  }
+}
+
+const AggregateRow& CampaignResult::aggregate(std::size_t scenario,
+                                              std::size_t strategy) const {
+  // Check each axis, not just the flattened index: an off-by-one on the
+  // strategy axis must throw, not alias the next scenario's group.
+  if (scenario >= axes_.scenario_labels.size() ||
+      strategy >= axes_.strategy_labels.size()) {
+    throw std::out_of_range("CampaignResult::aggregate: bad cell group");
+  }
+  return aggregates_[scenario * axes_.strategy_labels.size() + strategy];
+}
+
+namespace {
+
+const AggregateRow::Metric& find_metric(const AggregateRow& row,
+                                        const std::string& name) {
+  for (const auto& m : row.metrics) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("CampaignResult: unknown metric '" + name + "'");
+}
+
+}  // namespace
+
+double CampaignResult::mean(std::size_t scenario, std::size_t strategy,
+                            const std::string& metric) const {
+  return find_metric(aggregate(scenario, strategy), metric).mean;
+}
+
+double CampaignResult::sem(std::size_t scenario, std::size_t strategy,
+                           const std::string& metric) const {
+  return find_metric(aggregate(scenario, strategy), metric).sem;
+}
+
+report::Table CampaignResult::summary_table(
+    const std::vector<std::string>& metrics) const {
+  std::vector<std::string> names = metrics;
+  if (names.empty() && !aggregates_.empty()) {
+    for (const auto& m : aggregates_.front().metrics) names.push_back(m.name);
+  }
+  std::vector<std::string> headers = {axes_.scenario_axis,
+                                      axes_.strategy_axis};
+  for (const auto& n : names) headers.push_back(n);
+  report::Table table(std::move(headers));
+  for (const auto& row : aggregates_) {
+    auto& r = table.row()
+                  .cell(axes_.scenario_labels[row.scenario])
+                  .cell(axes_.strategy_labels[row.strategy]);
+    for (const auto& n : names) r.cell(find_metric(row, n).mean, 3);
+  }
+  return table;
+}
+
+void CampaignResult::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"gridsub-campaign-v1\",\n  \"name\": ";
+  json_escape(os, axes_.name);
+  os << ",\n  \"root_seed\": " << axes_.root_seed;
+  os << ",\n  \"axes\": {";
+  json_escape(os, axes_.scenario_axis);
+  os << ": [";
+  for (std::size_t i = 0; i < axes_.scenario_labels.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_escape(os, axes_.scenario_labels[i]);
+  }
+  os << "], ";
+  json_escape(os, axes_.strategy_axis);
+  os << ": [";
+  for (std::size_t i = 0; i < axes_.strategy_labels.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_escape(os, axes_.strategy_labels[i]);
+  }
+  os << "], \"replications\": " << axes_.replications << "},\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellResult& c = cells_[i];
+    os << "    {\"scenario\": ";
+    json_escape(os, axes_.scenario_labels[c.context.scenario]);
+    os << ", \"strategy\": ";
+    json_escape(os, axes_.strategy_labels[c.context.strategy]);
+    os << ", \"replication\": " << c.context.replication;
+    os << ", \"seed\": " << c.context.seed << ", \"metrics\": {";
+    for (std::size_t m = 0; m < c.metrics.size(); ++m) {
+      if (m > 0) os << ", ";
+      json_escape(os, c.metrics[m].first);
+      os << ": ";
+      json_number(os, c.metrics[m].second);
+    }
+    os << "}}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"aggregates\": [\n";
+  for (std::size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateRow& row = aggregates_[i];
+    os << "    {\"scenario\": ";
+    json_escape(os, axes_.scenario_labels[row.scenario]);
+    os << ", \"strategy\": ";
+    json_escape(os, axes_.strategy_labels[row.strategy]);
+    os << ", \"replications\": " << row.replications << ", \"metrics\": {";
+    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+      if (m > 0) os << ", ";
+      json_escape(os, row.metrics[m].name);
+      os << ": {\"mean\": ";
+      json_number(os, row.metrics[m].mean);
+      os << ", \"stderr\": ";
+      json_number(os, row.metrics[m].sem);
+      os << "}";
+    }
+    os << "}}" << (i + 1 < aggregates_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string CampaignResult::to_json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+CampaignResult CampaignRunner::run(const CampaignAxes& axes,
+                                   const CellEvaluator& evaluate) const {
+  axes.validate();
+  if (!evaluate) {
+    throw std::invalid_argument("CampaignRunner::run: null evaluator");
+  }
+  const std::size_t n = axes.cell_count();
+  std::vector<CellResult> cells(n);
+  par::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : par::ThreadPool::shared();
+
+  std::mutex progress_mutex;
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    futures.push_back(pool.submit([this, &axes, &evaluate, &cells,
+                                   &progress_mutex, flat] {
+      CellResult result;
+      result.context = axes.cell(flat);
+      result.metrics = evaluate(result.context);
+      if (options_.on_cell) {
+        const std::lock_guard lock(progress_mutex);
+        options_.on_cell(result);
+      }
+      cells[flat] = std::move(result);
+    }));
+  }
+  // Settle every cell before touching `cells`, then surface the first
+  // failure: returning early would tear down slots workers still write.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return CampaignResult(axes, std::move(cells));
+}
+
+}  // namespace gridsub::exp

@@ -1,0 +1,163 @@
+#pragma once
+
+// Experiment-campaign engine: the (scenario × strategy × replication) grid.
+//
+// Every simulation study in this repository reduces to the same shape: a
+// grid of independent cells, each deterministic in its own seed, whose
+// metrics are aggregated per (scenario, strategy) group. This engine owns
+// that shape once — benches declare axes and a cell evaluator, the runner
+// shards cells across the par::ThreadPool, and the result renders itself
+// as a report::Table or JSON.
+//
+// Determinism contract: every cell's seed is a SplitMix64 hash of
+// (root_seed, scenario, strategy, replication) only, results land in a
+// pre-sized slot indexed by the cell's flat index, and aggregation folds
+// in index order — so a campaign's output (JSON bytes included) is
+// identical at 1, 2, or N worker threads. CampaignRunner::run must be
+// called from outside the pool it executes on (cells may not recursively
+// launch campaigns on the same pool).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "report/table.hpp"
+
+namespace gridsub::exp {
+
+/// Position of one cell in the campaign grid, plus its derived seed.
+struct CellContext {
+  std::size_t flat = 0;         ///< index in row-major (scenario, strategy,
+                                ///< replication) order
+  std::size_t scenario = 0;     ///< index on the scenario axis
+  std::size_t strategy = 0;     ///< index on the strategy axis
+  std::size_t replication = 0;  ///< replication number within the group
+  std::uint64_t seed = 0;       ///< deterministic per-cell seed
+};
+
+/// Ordered (name, value) metric list produced by one cell. All cells of a
+/// (scenario, strategy) group must emit the same names in the same order.
+using CellMetrics = std::vector<std::pair<std::string, double>>;
+
+/// Evaluates one cell. Called concurrently from pool workers: it must not
+/// touch shared mutable state (everything it needs travels in the context
+/// seed and whatever immutable state the closure captures).
+using CellEvaluator = std::function<CellMetrics(const CellContext&)>;
+
+/// The abstract campaign grid: named axes, replication count, seed policy.
+/// Sim-level specs (exp/experiment.hpp) compile down to this.
+struct CampaignAxes {
+  std::string name = "campaign";
+  std::string scenario_axis = "scenario";  ///< display name of axis 1
+  std::string strategy_axis = "strategy";  ///< display name of axis 2
+  std::vector<std::string> scenario_labels;
+  std::vector<std::string> strategy_labels;
+  std::size_t replications = 1;
+  std::uint64_t root_seed = 20090611;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return scenario_labels.size() * strategy_labels.size() * replications;
+  }
+
+  /// SplitMix64 hash of (root_seed, scenario, strategy, replication):
+  /// depends on indices only, never on execution order or thread count.
+  [[nodiscard]] std::uint64_t cell_seed(std::size_t scenario,
+                                        std::size_t strategy,
+                                        std::size_t replication) const;
+
+  /// Decodes a flat index into a full context (with seed).
+  [[nodiscard]] CellContext cell(std::size_t flat) const;
+
+  /// Throws std::invalid_argument on empty axes or zero replications.
+  void validate() const;
+};
+
+/// One evaluated cell: its grid position and the metrics it produced.
+struct CellResult {
+  CellContext context;
+  CellMetrics metrics;
+};
+
+/// Mean / standard-error summary of one (scenario, strategy) group.
+struct AggregateRow {
+  std::size_t scenario = 0;
+  std::size_t strategy = 0;
+  std::size_t replications = 0;
+  struct Metric {
+    std::string name;
+    double mean = 0.0;
+    double sem = 0.0;  ///< sample stderr of the mean (0 for 1 replication)
+  };
+  std::vector<Metric> metrics;  ///< in cell metric order
+};
+
+/// Collected campaign output: per-cell metrics in flat order plus
+/// per-group aggregates, renderable as a table or deterministic JSON.
+class CampaignResult {
+ public:
+  CampaignResult(CampaignAxes axes, std::vector<CellResult> cells);
+
+  [[nodiscard]] const CampaignAxes& axes() const { return axes_; }
+  [[nodiscard]] const std::vector<CellResult>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] const std::vector<AggregateRow>& aggregates() const {
+    return aggregates_;
+  }
+
+  /// The aggregate of one (scenario, strategy) group.
+  [[nodiscard]] const AggregateRow& aggregate(std::size_t scenario,
+                                              std::size_t strategy) const;
+
+  /// Aggregated mean / stderr of a named metric; throws std::out_of_range
+  /// for unknown names.
+  [[nodiscard]] double mean(std::size_t scenario, std::size_t strategy,
+                            const std::string& metric) const;
+  [[nodiscard]] double sem(std::size_t scenario, std::size_t strategy,
+                           const std::string& metric) const;
+
+  /// One row per (scenario, strategy) group with mean columns for the
+  /// requested metrics (all metrics when the list is empty).
+  [[nodiscard]] report::Table summary_table(
+      const std::vector<std::string>& metrics = {}) const;
+
+  /// Deterministic JSON: stable key order, shortest round-trip doubles.
+  /// Identical campaigns produce byte-identical output at any thread count.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  CampaignAxes axes_;
+  std::vector<CellResult> cells_;
+  std::vector<AggregateRow> aggregates_;
+};
+
+struct CampaignOptions {
+  /// Pool to shard cells on; nullptr uses par::ThreadPool::shared().
+  par::ThreadPool* pool = nullptr;
+  /// Progress callback, invoked under a mutex as cells finish (completion
+  /// order, i.e. nondeterministic — do not derive results from it).
+  std::function<void(const CellResult&)> on_cell;
+};
+
+/// Executes campaign cells concurrently and deterministically.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Runs every cell of `axes` through `evaluate`. Cells are submitted to
+  /// the pool individually (dynamic load balancing; cell costs vary).
+  /// The first cell exception is rethrown after all cells have settled.
+  [[nodiscard]] CampaignResult run(const CampaignAxes& axes,
+                                   const CellEvaluator& evaluate) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace gridsub::exp

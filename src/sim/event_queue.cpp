@@ -1,13 +1,23 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gridsub::sim {
 
+namespace {
+
+/// Below this heap size, canceled residue is too small to matter; skipping
+/// compaction keeps the common small-queue path branch-cheap.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
 EventId EventQueue::push(SimTime time, std::function<void()> fn,
                          bool daemon) {
   const EventId id = next_id_++;
-  heap_.push({time, id});
+  heap_.push_back({time, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, Callback{std::move(fn), daemon});
   if (!daemon) ++live_count_;
   return id;
@@ -17,28 +27,43 @@ bool EventQueue::cancel(EventId id) {
   auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
   if (!it->second.daemon) --live_count_;
-  callbacks_.erase(it);  // heap entry is dropped lazily
+  callbacks_.erase(it);  // heap entry is dropped lazily...
+  // ...unless dead entries outnumber live ones: then filter the heap in
+  // place, which bounds it at O(live) under cancel/reschedule storms.
+  if (heap_.size() > kCompactionFloor &&
+      heap_.size() > 2 * callbacks_.size()) {
+    compact();
+  }
   return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::drop_canceled() const {
   while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_canceled();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_canceled();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   auto it = callbacks_.find(top.id);
   Fired fired{top.time, top.id, std::move(it->second.fn)};
   if (!it->second.daemon) --live_count_;

@@ -5,7 +5,10 @@
 // Grid clients cancel jobs all the time (that is what the paper's
 // strategies *are*), so cancellation is first-class: push() returns an id,
 // cancel() lazily invalidates it. Ties in time are broken by insertion
-// order, which keeps runs deterministic.
+// order, which keeps runs deterministic. Canceled entries are dropped
+// lazily from the heap, but cancel() compacts it whenever dead entries
+// outnumber live ones — a timeout strategy that cancels and reschedules
+// for a whole simulated week keeps the heap at O(live), not O(canceled).
 //
 // Events come in two flavours. Regular events keep the simulation alive;
 // *daemon* events are housekeeping (e.g. the WMS refreshing its stale load
@@ -14,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +48,11 @@ class EventQueue {
   /// reaches zero, even if periodic daemon events are still scheduled.
   [[nodiscard]] std::size_t live_size() const { return live_count_; }
 
+  /// Heap entries currently allocated, canceled residue included. Bounded
+  /// at max(compaction floor, 2 × size()) by cancel()-time compaction; the
+  /// regression test for cancel-heavy strategies asserts this bound.
+  [[nodiscard]] std::size_t queued() const { return heap_.size(); }
+
   /// Time of the earliest live event; requires !empty().
   [[nodiscard]] SimTime next_time() const;
 
@@ -74,8 +81,11 @@ class EventQueue {
   };
 
   void drop_canceled() const;
+  void compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Min-heap (std::push_heap/pop_heap with Later) over a plain vector so
+  /// compaction can filter dead entries in place in O(n).
+  mutable std::vector<Entry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

@@ -6,6 +6,14 @@
 // are in the paper's regime: a few-hundred-second bulk (matchmaking +
 // queueing behind background jobs) with a heavy tail and a few-percent
 // fault ratio.
+//
+// Thread-safety: a GridSimulation is single-threaded, but *distinct*
+// instances share no mutable state — all randomness flows from the
+// config seed through root_rng_.split() and every component holds
+// per-instance state only (the audited library-wide statics are the
+// const dataset registry and the parallel thread pool). The campaign
+// engine (src/exp) relies on this to construct and run one grid per
+// worker thread concurrently.
 
 #include <memory>
 #include <vector>

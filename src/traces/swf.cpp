@@ -33,9 +33,9 @@ int to_id(double v) {
 
 }  // namespace
 
-Workload read_swf(std::istream& is, const std::string& name,
-                  const SwfReadOptions& options, SwfReadReport* report) {
-  Workload w(name);
+void for_each_swf_job(std::istream& is, const SwfReadOptions& options,
+                      const std::function<bool(const WorkloadJob&)>& sink,
+                      SwfReadReport* report) {
   SwfReadReport local;
   std::string line;
   std::size_t line_no = 0;
@@ -46,7 +46,7 @@ Workload read_swf(std::istream& is, const std::string& name,
     const auto first = line.find_first_not_of(" \t");
     if (first == std::string::npos) continue;
     if (line[first] == ';') continue;
-    if (options.max_jobs != 0 && w.size() >= options.max_jobs) {
+    if (options.max_jobs != 0 && local.accepted >= options.max_jobs) {
       // Stop streaming: on a multi-million-line archive, --max-jobs should
       // make the read cheap, not just the result small.
       local.truncated_at = line_no;
@@ -77,12 +77,29 @@ Workload read_swf(std::istream& is, const std::string& name,
     }
     const int user = to_id(field_or(fields, kFieldUser, -1.0));
     const int group = to_id(field_or(fields, kFieldGroup, -1.0));
-    w.add_job(submit, runtime, user, group);
+    if ((options.user >= 0 && user != options.user) ||
+        (options.group >= 0 && group != options.group)) {
+      ++local.filtered;
+      continue;
+    }
     ++local.accepted;
+    if (!sink(WorkloadJob{submit, runtime, user, group})) break;
   }
+  if (report != nullptr) *report = local;
+}
+
+Workload read_swf(std::istream& is, const std::string& name,
+                  const SwfReadOptions& options, SwfReadReport* report) {
+  Workload w(name);
+  for_each_swf_job(
+      is, options,
+      [&w](const WorkloadJob& job) {
+        w.add_job(job);
+        return true;
+      },
+      report);
   w.sort_by_arrival();
   w.rebase_to_zero();
-  if (report != nullptr) *report = local;
   return w;
 }
 

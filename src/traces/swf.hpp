@@ -19,6 +19,7 @@
 // the offending line number.
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -31,15 +32,31 @@ struct SwfReadOptions {
   /// When the measured runtime (field 4) is missing (-1), substitute the
   /// requested time (field 9) if present.
   bool requested_time_fallback = true;
+  /// Keep only jobs of this user / group id (-1 = no filter). This is how
+  /// VO-level submission patterns are isolated from a site archive; filters
+  /// apply while streaming, before max_jobs counts.
+  int user = -1;
+  int group = -1;
 };
 
-/// Per-parse accounting, filled by read_swf.
+/// Per-parse accounting, filled by read_swf / for_each_swf_job.
 struct SwfReadReport {
   std::size_t lines = 0;          ///< data lines seen (comments excluded)
   std::size_t accepted = 0;       ///< jobs kept
   std::size_t dropped = 0;        ///< jobs skipped (missing runtime/submit)
+  std::size_t filtered = 0;       ///< jobs excluded by user/group filters
   std::size_t truncated_at = 0;   ///< lines ignored after max_jobs (0 = none)
 };
+
+/// Streaming core: parses line by line and hands each accepted job to
+/// `sink` without materializing the log — month-long archives cost O(1)
+/// memory beyond what the sink keeps. Jobs arrive in archive order with
+/// raw submit times (per the SWF spec these are relative to the log start;
+/// no sorting or rebasing happens here). `sink` returns false to stop
+/// early; max_jobs/user/group in `options` are honoured as in read_swf.
+void for_each_swf_job(std::istream& is, const SwfReadOptions& options,
+                      const std::function<bool(const WorkloadJob&)>& sink,
+                      SwfReadReport* report = nullptr);
 
 /// Parses SWF text into a Workload named `name`. See header comment for
 /// tolerance rules; `report` (optional) receives parse accounting.

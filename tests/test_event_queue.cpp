@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace gridsub::sim {
@@ -61,6 +62,40 @@ TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), std::logic_error);
   EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, CancelHeavyLoopKeepsHeapBounded) {
+  // A timeout strategy cancels and reschedules constantly; before
+  // compaction the heap kept every canceled entry until popped, growing
+  // without bound over a simulated week. The heap must stay O(live).
+  EventQueue q;
+  q.push(1e12, [] {});  // one long-lived survivor
+  std::size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = q.push(1.0 + i, [] {});
+    q.cancel(id);
+    peak = std::max(peak, q.queued());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LE(peak, 130u);  // compaction floor (64) + slack, not 100k
+}
+
+TEST(EventQueue, OrderingSurvivesCompaction) {
+  // Interleave live timers with a storm of cancel/reschedule churn, then
+  // check the survivors still fire in (time, insertion) order.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.push(1000.0 - i, [&order, i] { order.push_back(i); });
+    for (int j = 0; j < 40; ++j) {
+      q.cancel(q.push(5.0 + j, [] {}));  // forces repeated compactions
+    }
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GT(order[i - 1], order[i]);  // later-pushed fire earlier
+  }
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

@@ -102,6 +102,72 @@ TEST(Swf, OutOfRangeIdsMapToUnknown) {
   EXPECT_EQ(w.jobs()[0].group, 2);
 }
 
+TEST(Swf, UserFilterIsolatesOneSubmitter) {
+  std::stringstream ss(kTwoJobs);
+  SwfReadOptions options;
+  options.user = 8;
+  SwfReadReport report;
+  const Workload w = read_swf(ss, "vo", options, &report);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.jobs()[0].user, 8);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.filtered, 1u);
+  EXPECT_EQ(report.dropped, 0u);
+}
+
+TEST(Swf, GroupFilterAndCombinedFilters) {
+  std::stringstream ss(
+      "1 10 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n"
+      "2 20 0 60 1 -1 -1 1 100 -1 1 3 9 -1 1 -1 -1 -1\n"
+      "3 30 0 60 1 -1 -1 1 100 -1 1 4 2 -1 1 -1 -1 -1\n");
+  SwfReadOptions by_group;
+  by_group.group = 2;
+  std::stringstream ss2(ss.str());
+  EXPECT_EQ(read_swf(ss2, "g", by_group).size(), 2u);
+
+  SwfReadOptions both;
+  both.user = 3;
+  both.group = 2;
+  SwfReadReport report;
+  const Workload w = read_swf(ss, "ug", both, &report);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(report.filtered, 2u);
+}
+
+TEST(Swf, ForEachStreamsWithoutMaterializingAndStopsEarly) {
+  std::stringstream ss(
+      "1 500 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n"
+      "2 100 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n"
+      "3 200 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n");
+  std::size_t seen = 0;
+  double first_submit = -1.0;
+  for_each_swf_job(
+      ss, {},
+      [&](const WorkloadJob& job) {
+        if (seen++ == 0) first_submit = job.arrival;
+        return seen < 2;  // stop after the second job
+      },
+      nullptr);
+  EXPECT_EQ(seen, 2u);
+  // Streaming hands out raw archive times in file order: no sort, no
+  // rebase (those are read_swf's post-passes).
+  EXPECT_DOUBLE_EQ(first_submit, 500.0);
+}
+
+TEST(Swf, FilteredJobsDoNotCountTowardsMaxJobs) {
+  std::stringstream ss(
+      "1 10 0 60 1 -1 -1 1 100 -1 1 9 2 -1 1 -1 -1 -1\n"
+      "2 20 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n"
+      "3 30 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n");
+  SwfReadOptions options;
+  options.user = 3;
+  options.max_jobs = 2;
+  SwfReadReport report;
+  const Workload w = read_swf(ss, "cap", options, &report);
+  EXPECT_EQ(w.size(), 2u);  // both user-3 jobs, despite the user-9 lead-in
+  EXPECT_EQ(report.filtered, 1u);
+}
+
 TEST(Swf, MaxJobsTruncates) {
   std::stringstream ss(
       "1 10 0 60 1 -1 -1 1 100 -1 1 3 2 -1 1 -1 -1 -1\n"

@@ -1,20 +1,31 @@
 // gridsub-swfconvert: convert a Standard Workload Format archive into the
-// repo's replayable workload CSV, optionally cutting a window,
-// downsampling, and rescaling on the way.
+// repo's replayable workload CSV, optionally filtering by user/group,
+// cutting a window, downsampling, and rescaling on the way.
 //
 //   gridsub-swfconvert --in LPC-EGEE.swf --out week.csv
-//                      --window-start 604800 --window-length 604800
-//                      --sample 0.25 --time-scale 0.25 --runtime-scale 1
+//                      --user 42 --window-start 604800
+//                      --window-length 604800 --sample 0.25
+//                      --time-scale 0.25 --runtime-scale 1
 //
+// --user/--group N keep only that submitter's jobs (how VO-level
+// submission patterns are isolated from a site archive);
 // --sample p keeps each job with probability p (seeded, deterministic);
 // --time-scale f multiplies arrivals by f (f < 1 compresses the timeline);
 // --runtime-scale likewise for runtimes. A typical recipe scales a
 // 1000-CPU cluster's week down to the bench grid: sample 0.25 to thin the
 // job count, runtime-scale to match the grid's service capacity.
+//
+// The archive is streamed line by line and only the jobs that survive
+// filter + window + sample are materialized, so month-long Parallel
+// Workloads Archive files convert in O(kept) memory. Windowing is applied
+// in archive time (SWF submit times are relative to the log start by
+// spec); --max-jobs caps the *kept* jobs.
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "cli.hpp"
@@ -31,8 +42,10 @@ int main(int argc, char** argv) {
           {"--in", "input SWF file (required)"},
           {"--out", "output workload CSV path (default: stdout)"},
           {"--name", "workload name (default: input file name)"},
-          {"--max-jobs", "stop after N accepted jobs (default: all)"},
-          {"--window-start", "cut window start, seconds (default 0)"},
+          {"--user", "keep only jobs of this user id"},
+          {"--group", "keep only jobs of this group id"},
+          {"--max-jobs", "stop after N kept jobs (default: all)"},
+          {"--window-start", "cut window start, archive seconds (default 0)"},
           {"--window-length", "cut window length, seconds (default: all)"},
           {"--sample", "keep each job with probability p in (0,1]"},
           {"--seed", "sampling seed (default 1)"},
@@ -48,38 +61,53 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gridsub-swfconvert: --in is required\n");
     return 2;
   }
+  const double sample_p = cli.number_or("--sample", 1.0);
+  if (cli.get("--sample") && !(sample_p > 0.0 && sample_p <= 1.0)) {
+    std::fprintf(stderr, "gridsub-swfconvert: --sample must be in (0,1]\n");
+    return 2;
+  }
 
   traces::SwfReadOptions options;
-  options.max_jobs =
-      static_cast<std::size_t>(cli.number_or("--max-jobs", 0.0));
-  traces::SwfReadReport report;
-  traces::Workload w = traces::read_swf_file(*in, options, &report);
-  if (const auto name = cli.get("--name")) w.set_name(*name);
-  std::fprintf(stderr, "read %zu jobs from %s (%zu dropped%s)\n", w.size(),
-               in->c_str(), report.dropped,
-               report.truncated_at != 0 ? ", truncated by --max-jobs" : "");
+  options.user = static_cast<int>(cli.number_or("--user", -1.0));
+  options.group = static_cast<int>(cli.number_or("--group", -1.0));
 
   const double window_start = cli.number_or("--window-start", 0.0);
-  if (const auto len = cli.get("--window-length")) {
-    const double length = cli.number_or("--window-length", 0.0);
-    w = w.window(window_start, window_start + length);
-  } else if (window_start > 0.0) {
-    w = w.window(window_start, w.duration() + 1.0);
-  }
+  const double window_end =
+      cli.get("--window-length")
+          ? window_start + cli.number_or("--window-length", 0.0)
+          : std::numeric_limits<double>::infinity();
+  const auto max_jobs =
+      static_cast<std::size_t>(cli.number_or("--max-jobs", 0.0));
 
-  if (const auto sample = cli.get("--sample")) {
-    const double p = cli.number_or("--sample", 1.0);
-    if (!(p > 0.0 && p <= 1.0)) {
-      std::fprintf(stderr, "gridsub-swfconvert: --sample must be in (0,1]\n");
-      return 2;
-    }
-    stats::Rng rng(static_cast<std::uint64_t>(cli.number_or("--seed", 1.0)));
-    traces::Workload thinned(w.name());
-    for (const auto& j : w.jobs()) {
-      if (rng.bernoulli(p)) thinned.add_job(j);
-    }
-    w = std::move(thinned);
+  std::ifstream is(*in);
+  if (!is) {
+    std::fprintf(stderr, "gridsub-swfconvert: cannot open %s\n", in->c_str());
+    return 2;
   }
+  const auto slash = in->find_last_of('/');
+  traces::Workload w(cli.get_or(
+      "--name", slash == std::string::npos ? *in : in->substr(slash + 1)));
+
+  // One streaming pass: filter (reader) -> window -> sample -> cap. Only
+  // kept jobs are materialized; everything else costs a line parse.
+  stats::Rng rng(static_cast<std::uint64_t>(cli.number_or("--seed", 1.0)));
+  traces::SwfReadReport report;
+  traces::for_each_swf_job(
+      is, options,
+      [&](const traces::WorkloadJob& job) {
+        if (job.arrival < window_start || job.arrival >= window_end) {
+          return true;
+        }
+        if (sample_p < 1.0 && !rng.bernoulli(sample_p)) return true;
+        w.add_job(job.arrival - window_start, job.runtime, job.user,
+                  job.group);
+        return max_jobs == 0 || w.size() < max_jobs;
+      },
+      &report);
+  std::fprintf(
+      stderr, "read %s: kept %zu of %zu jobs (%zu filtered, %zu dropped%s)\n",
+      in->c_str(), w.size(), report.lines, report.filtered, report.dropped,
+      max_jobs != 0 && w.size() >= max_jobs ? ", capped by --max-jobs" : "");
 
   const double time_scale = cli.number_or("--time-scale", 1.0);
   if (time_scale != 1.0) w.scale_time(time_scale);
@@ -88,6 +116,11 @@ int main(int argc, char** argv) {
   w.sort_by_arrival();
   w.rebase_to_zero();
 
+  if (w.empty()) {
+    std::fprintf(stderr, "gridsub-swfconvert: no jobs survived the "
+                         "filter/window/sample pipeline\n");
+    return 1;
+  }
   const auto stats = w.stats();
   std::fprintf(stderr,
                "result: %zu jobs over %.0f s — mean rate %.4f/s, peak "
