@@ -6,13 +6,22 @@
 // the full-trace oracle. The realized regret vs n sits next to the DKW
 // envelope sqrt(ln(2/alpha) / 2n) for the ECDF error — the statistical
 // budget a probe campaign buys.
+//
+// The (size × resample) sweep is a campaign: each replication is one
+// bootstrap resample whose RNG stream is the cell seed, so the sweep is
+// byte-reproducible at any thread count and checkpoints/shards across
+// processes like every other campaign.
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/cost.hpp"
 #include "core/single_resubmission.hpp"
+#include "exp/campaign.hpp"
 #include "model/discretized.hpp"
 #include "report/table.hpp"
 #include "stats/rng.hpp"
@@ -35,11 +44,13 @@ gridsub::traces::Trace resample(const gridsub::traces::Trace& trace,
 
 int main() {
   using namespace gridsub;
+  const std::size_t resamples = bench::quick_mode() ? 6 : 24;
   bench::print_header(
       "ablation_sample_size",
       "probe-campaign size vs tuning quality (supports §7.2)",
-      "bootstrap 24 resamples per size from 2006-IX; regret charged on "
-      "the full-trace oracle");
+      "bootstrap " + std::to_string(resamples) +
+          " resamples per size from 2006-IX; regret charged on the "
+          "full-trace oracle");
 
   const auto full_trace = traces::make_trace_by_name("2006-IX");
   const auto oracle_model =
@@ -49,41 +60,60 @@ int main() {
   const double oracle_ej = oracle_single.optimize().metrics.expectation;
   const double oracle_dcost = oracle_cost.optimize_delayed_cost().delta_cost;
 
-  constexpr int kResamples = 24;
-  stats::Rng rng(0x5A11);
+  const std::vector<std::size_t> sizes = {50, 100, 200, 400, 800, 2005};
+
+  exp::CampaignAxes axes;
+  axes.name = "ablation_sample_size";
+  axes.scenario_axis = "n probes";
+  axes.strategy_axis = "stage";
+  for (const std::size_t n : sizes) {
+    axes.scenario_labels.push_back(std::to_string(n));
+  }
+  axes.strategy_labels = {"bootstrap"};
+  axes.replications = resamples;
+  axes.root_seed = 0x5A11;
+
+  const auto result = bench::run_campaign(
+      axes, [&](const exp::CellContext& ctx) {
+        stats::Rng rng(ctx.seed);
+        const auto sub = resample(full_trace, sizes[ctx.scenario], rng);
+        const auto m = model::DiscretizedLatencyModel::from_trace(sub, 1.0);
+        // Tune on the subsample...
+        const auto t_opt = core::SingleResubmission(m).optimize().t_inf;
+        const auto d_opt = core::CostModel(m).optimize_delayed_cost();
+        // ...charge on the oracle.
+        return exp::CellMetrics{
+            {"ej_regret",
+             oracle_single.expectation(t_opt) / oracle_ej - 1.0},
+            {"dcost_regret",
+             oracle_cost.evaluate_delayed(d_opt.t0, d_opt.t_inf).delta_cost /
+                     oracle_dcost -
+                 1.0}};
+      });
+  if (!result) return 0;  // shard mode: cells are on disk
+
+  // Max regret needs the per-cell values, not just the aggregates.
+  std::vector<double> max_ej(sizes.size(), 0.0), max_dc(sizes.size(), 0.0);
+  for (const auto& cell : result->cells()) {
+    auto& ej = max_ej[cell.context.scenario];
+    auto& dc = max_dc[cell.context.scenario];
+    ej = std::max(ej, cell.metrics[0].second);
+    dc = std::max(dc, cell.metrics[1].second);
+  }
 
   report::Table table({"n probes", "DKW eps (95%)", "E_J regret mean",
                        "E_J regret max", "dcost regret mean",
                        "dcost regret max"});
-  for (const std::size_t n : {50u, 100u, 200u, 400u, 800u, 2005u}) {
-    double sum_ej = 0.0, max_ej = 0.0, sum_dc = 0.0, max_dc = 0.0;
-    for (int b = 0; b < kResamples; ++b) {
-      const auto sub = resample(full_trace, n, rng);
-      const auto m = model::DiscretizedLatencyModel::from_trace(sub, 1.0);
-      // Tune on the subsample...
-      const auto t_opt = core::SingleResubmission(m).optimize().t_inf;
-      const auto d_opt = core::CostModel(m).optimize_delayed_cost();
-      // ...charge on the oracle.
-      const double ej_regret =
-          oracle_single.expectation(t_opt) / oracle_ej - 1.0;
-      const double dc_regret =
-          oracle_cost.evaluate_delayed(d_opt.t0, d_opt.t_inf).delta_cost /
-              oracle_dcost -
-          1.0;
-      sum_ej += ej_regret;
-      max_ej = std::max(max_ej, ej_regret);
-      sum_dc += dc_regret;
-      max_dc = std::max(max_dc, dc_regret);
-    }
+  for (std::size_t sc = 0; sc < sizes.size(); ++sc) {
     const double dkw = std::sqrt(std::log(2.0 / 0.05) /
-                                 (2.0 * static_cast<double>(n)));
+                                 (2.0 * static_cast<double>(sizes[sc])));
     table.row()
-        .cell(static_cast<long long>(n))
+        .cell(static_cast<long long>(sizes[sc]))
         .cell(dkw, 3)
-        .percent(sum_ej / kResamples, 2)
-        .percent(max_ej, 2)
-        .percent(sum_dc / kResamples, 2)
-        .percent(max_dc, 2);
+        .percent(result->mean(sc, 0, "ej_regret"), 2)
+        .percent(max_ej[sc], 2)
+        .percent(result->mean(sc, 0, "dcost_regret"), 2)
+        .percent(max_dc[sc], 2);
   }
   table.print(std::cout);
   std::cout

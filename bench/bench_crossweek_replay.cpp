@@ -147,6 +147,10 @@ int main() {
 
   const std::vector<exp::ScenarioCase> weeks = make_weeks();
   const std::size_t n_weeks = weeks.size();
+  // The fit stage feeds `tuned` through a side channel, so it runs fully
+  // in-process (every shard process recomputes it — deterministic and
+  // cheap next to stage 3) and never touches the checkpoint machinery;
+  // only the terminal evaluation campaign checkpoints/shards.
   const exp::CampaignRunner runner;
 
   // ---- Stage 1+2: per-week probe campaign -> F̃ fit -> tuned params ----
@@ -204,7 +208,7 @@ int main() {
   clients.warm_up = kWarmUp;
 
   const auto result =
-      runner.run(eval_axes, [&](const exp::CellContext& ctx) {
+      bench::run_campaign(eval_axes, [&](const exp::CellContext& ctx) {
         const std::size_t prev = (ctx.scenario + n_weeks - 1) % n_weeks;
         sim::StrategySpec spec;
         switch (ctx.strategy) {
@@ -230,16 +234,17 @@ int main() {
         return exp::run_strategy_cell(weeks[ctx.scenario], spec, clients,
                                       ctx.seed);
       });
+  if (!result) return 0;  // shard mode: cells are on disk
 
   report::Table table({"week", "naive J", "delayed(prev) J", "+/-",
                        "multiple(prev) J", "delayed(own) J",
                        "gain vs naive", "transfer penalty"});
   double gain_sum = 0.0, penalty_sum = 0.0, penalty_max = 0.0;
   for (std::size_t w = 0; w < n_weeks; ++w) {
-    const double naive_j = result.mean(w, 0, "mean_J");
-    const double prev_j = result.mean(w, 1, "mean_J");
-    const double multi_j = result.mean(w, 2, "mean_J");
-    const double own_j = result.mean(w, 3, "mean_J");
+    const double naive_j = result->mean(w, 0, "mean_J");
+    const double prev_j = result->mean(w, 1, "mean_J");
+    const double multi_j = result->mean(w, 2, "mean_J");
+    const double own_j = result->mean(w, 3, "mean_J");
     const double gain = naive_j > 0.0 ? 1.0 - prev_j / naive_j : 0.0;
     const double penalty = own_j > 0.0 ? prev_j / own_j - 1.0 : 0.0;
     gain_sum += gain;
@@ -249,7 +254,7 @@ int main() {
         .cell(weeks[w].label)
         .cell(naive_j, 1)
         .cell(prev_j, 1)
-        .cell(result.sem(w, 1, "mean_J"), 1)
+        .cell(result->sem(w, 1, "mean_J"), 1)
         .cell(multi_j, 1)
         .cell(own_j, 1)
         .percent(gain)

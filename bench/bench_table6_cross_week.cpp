@@ -33,6 +33,9 @@ int main() {
   };
   std::vector<WeekData> data(weeks.size());
 
+  // Stage 1 fills `data` through a side channel, so it always runs fully
+  // in-process (recomputed per shard process); only the terminal transfer
+  // campaign below checkpoints/shards via bench::run_campaign.
   const exp::CampaignRunner runner;
 
   // Stage 1: per-week Δcost optimization (each cell owns its week's slot).
@@ -65,7 +68,7 @@ int main() {
   transfer_axes.scenario_labels = weeks;
   transfer_axes.strategy_labels = weeks;
   const auto transfer =
-      runner.run(transfer_axes, [&](const exp::CellContext& ctx) {
+      bench::run_campaign(transfer_axes, [&](const exp::CellContext& ctx) {
         const core::CostEvaluation& p = data[ctx.strategy].opt;
         const auto e =
             data[ctx.scenario].cost->evaluate_delayed(p.t0, p.t_inf);
@@ -74,19 +77,20 @@ int main() {
                                 {"E_J", e.expectation},
                                 {"d_cost", e.delta_cost}};
       });
+  if (!transfer) return 0;  // shard mode: cells are on disk
 
   for (std::size_t target = 0; target < weeks.size(); ++target) {
     std::cout << "evaluated on " << weeks[target] << ":\n";
     report::Table table({"params from", "t0", "t_inf", "E_J", "d_cost"});
-    const double own = transfer.mean(target, target, "d_cost");
+    const double own = transfer->mean(target, target, "d_cost");
     double max_diff = 0.0, prev_diff = std::nan("");
     for (std::size_t source = 0; source < weeks.size(); ++source) {
-      const double d_cost = transfer.mean(target, source, "d_cost");
+      const double d_cost = transfer->mean(target, source, "d_cost");
       table.row()
           .cell(weeks[source] + (source == target ? " (own)" : ""))
-          .cell(transfer.mean(target, source, "t0"), 0)
-          .cell(transfer.mean(target, source, "t_inf"), 0)
-          .cell(report::seconds(transfer.mean(target, source, "E_J")))
+          .cell(transfer->mean(target, source, "t0"), 0)
+          .cell(transfer->mean(target, source, "t_inf"), 0)
+          .cell(report::seconds(transfer->mean(target, source, "E_J")))
           .cell(d_cost, 3);
       max_diff = std::max(max_diff, (d_cost - own) / own);
       if (target > 0 && source + 1 == target) {

@@ -4,11 +4,16 @@
 // campaign-spec builders, and consistent headers so every bench prints a
 // self-describing report.
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "exp/checkpoint.hpp"
 #include "exp/experiment.hpp"
 #include "model/discretized.hpp"
 #include "traces/datasets.hpp"
@@ -48,6 +53,115 @@ inline exp::ScenarioCase replay_scenario(const std::string& name,
   sc.workload = std::make_shared<const traces::Workload>(
       traces::make_scenario(name, scen));
   return sc;
+}
+
+/// Scale-out environment shared by every campaign bench, set by
+/// scripts/run_benches.py (or by hand for multi-host runs):
+///
+///   GRIDSUB_SHARD="i/N"        this process owns cells flat % N == i
+///                              (0-based); requires a checkpoint dir
+///   GRIDSUB_CHECKPOINT_DIR=D   campaigns checkpoint to
+///                              D/<campaign>[.shard<i>of<N>].ckpt and,
+///                              when run to completion, also write the
+///                              canonical D/<campaign>.json
+struct CampaignEnv {
+  exp::CampaignShard shard;
+  std::string checkpoint_dir;
+
+  [[nodiscard]] bool shard_mode() const { return shard.active(); }
+  [[nodiscard]] std::string checkpoint_path(
+      const std::string& campaign) const {
+    std::string name = campaign;
+    if (shard.active()) {
+      name += ".shard" + std::to_string(shard.index) + "of" +
+              std::to_string(shard.count);
+    }
+    return checkpoint_dir + "/" + name + ".ckpt";
+  }
+};
+
+/// Parses the scale-out environment; exits with a message on a malformed
+/// GRIDSUB_SHARD or a shard request without a checkpoint directory.
+inline CampaignEnv campaign_env() {
+  CampaignEnv env;
+  if (const char* s = std::getenv("GRIDSUB_SHARD"); s != nullptr && *s) {
+    std::size_t index = 0, count = 0;
+    int consumed = 0;
+    // %n + end check: trailing garbage ("1/2,x", "0/24x") must fail
+    // loudly, not silently run the wrong cell partition.
+    if (std::sscanf(s, "%zu/%zu%n", &index, &count, &consumed) != 2 ||
+        s[consumed] != '\0' || count == 0 || index >= count) {
+      std::fprintf(stderr,
+                   "GRIDSUB_SHARD='%s' is not 'i/N' with 0 <= i < N\n", s);
+      std::exit(2);
+    }
+    env.shard.index = index;
+    env.shard.count = count;
+  }
+  if (const char* d = std::getenv("GRIDSUB_CHECKPOINT_DIR");
+      d != nullptr && *d) {
+    env.checkpoint_dir = d;
+  }
+  if (env.shard_mode() && env.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "GRIDSUB_SHARD is set but GRIDSUB_CHECKPOINT_DIR is not: "
+                 "shard results live only in checkpoint files\n");
+    std::exit(2);
+  }
+  return env;
+}
+
+/// Runs one campaign with the scale-out environment applied. Returns the
+/// full result, or std::nullopt in shard mode (this process evaluated only
+/// its cell partition into the shard checkpoint; merge the shards with
+/// tools/gridsub_campaign_merge). Campaign names must be unique within a
+/// bench — the checkpoint file is keyed on them. Only use this for
+/// *terminal* campaigns whose cells are pure functions of the cell context
+/// (everything the bench consumes is in the metrics); staged campaigns
+/// whose evaluators feed later stages through side channels resume
+/// incorrectly, because restored cells never re-run their side effects.
+inline std::optional<exp::CampaignResult> run_campaign(
+    const exp::CampaignAxes& axes, const exp::CellEvaluator& evaluate,
+    exp::CampaignOptions options = {}) {
+  const CampaignEnv env = campaign_env();
+  if (!env.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(env.checkpoint_dir);
+    options.checkpoint_path = env.checkpoint_path(axes.name);
+    options.shard = env.shard;
+  }
+  const exp::CampaignRunner runner(std::move(options));
+  if (env.shard_mode()) {
+    const std::size_t evaluated = runner.run_shard(axes, evaluate);
+    std::cout << "[shard " << env.shard.index << "/" << env.shard.count
+              << "] campaign '" << axes.name << "': evaluated " << evaluated
+              << " cells into " << env.checkpoint_path(axes.name)
+              << " (fold the shards with gridsub_campaign_merge)\n";
+    return std::nullopt;
+  }
+  exp::CampaignResult result = runner.run(axes, evaluate);
+  if (!env.checkpoint_dir.empty()) {
+    // The canonical JSON lands next to the checkpoint so interrupted+
+    // resumed runs can be diffed against straight-through ones — which
+    // only works if a failed write dies loudly here, not at diff time.
+    const std::string json_path =
+        env.checkpoint_dir + "/" + axes.name + ".json";
+    std::ofstream os(json_path, std::ios::binary);
+    if (os) result.write_json(os);
+    if (!os || !os.flush()) {
+      std::fprintf(stderr, "cannot write campaign result '%s'\n",
+                   json_path.c_str());
+      std::exit(1);
+    }
+  }
+  return result;
+}
+
+/// ExperimentSpec convenience overload of run_campaign.
+inline std::optional<exp::CampaignResult> run_campaign(
+    const exp::ExperimentSpec& spec, exp::CampaignOptions options = {}) {
+  spec.validate();
+  return run_campaign(spec.axes(), exp::make_cell_evaluator(spec),
+                      std::move(options));
 }
 
 /// Prints the standard bench header.

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Docs link-check + markdown lint (no external deps, CI-friendly).
+
+Checks README.md, ROADMAP.md, and docs/**/*.md:
+
+  * every relative markdown link / image target exists in the repo
+    (http(s)/mailto links are not fetched — CI must not depend on the
+    network);
+  * #anchors into markdown files (same-file or cross-file) match a real
+    heading, using GitHub's slug rules;
+  * code fences are balanced;
+  * no trailing whitespace.
+
+Exit code 1 with a file:line report on any violation.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def slugify(heading):
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.strip().lower().replace(" ", "-")
+
+
+def strip_code(lines):
+    """Blank out fenced code blocks so links inside them are not checked."""
+    out, fenced = [], False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            out.append("")
+            continue
+        out.append("" if fenced else line)
+    return out
+
+
+def heading_slugs(path):
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    slugs, seen = set(), {}
+    for line in strip_code(lines):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        if slug in seen:
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(repo_root, path, errors):
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read().splitlines()
+
+    fence_count = sum(1 for l in raw if l.lstrip().startswith("```"))
+    if fence_count % 2 != 0:
+        errors.append(f"{path}: unbalanced code fences")
+    for lineno, line in enumerate(raw, 1):
+        if line != line.rstrip():
+            errors.append(f"{path}:{lineno}: trailing whitespace")
+
+    base = os.path.dirname(path)
+    for lineno, line in enumerate(strip_code(raw), 1):
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            target, _, anchor = target.partition("#")
+            dest = path if not target else os.path.normpath(
+                os.path.join(base, target))
+            if target and not os.path.exists(dest):
+                errors.append(f"{path}:{lineno}: broken link '{target}'")
+                continue
+            if anchor and dest.endswith(".md"):
+                if anchor not in heading_slugs(dest):
+                    errors.append(
+                        f"{path}:{lineno}: anchor '#{anchor}' not found "
+                        f"in {os.path.relpath(dest, repo_root)}")
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = [os.path.join(repo_root, "README.md"),
+               os.path.join(repo_root, "ROADMAP.md")]
+    docs_dir = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs_dir):
+        for dirpath, _, files in os.walk(docs_dir):
+            targets.extend(os.path.join(dirpath, f) for f in sorted(files)
+                           if f.endswith(".md"))
+
+    errors = []
+    for path in targets:
+        if not os.path.exists(path):
+            errors.append(f"{path}: missing")
+            continue
+        check_file(repo_root, path, errors)
+
+    for error in errors:
+        print(f"[docs] {error}", file=sys.stderr)
+    checked = ", ".join(os.path.relpath(p, repo_root) for p in targets)
+    if errors:
+        print(f"[docs] {len(errors)} problem(s) in: {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"[docs] ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

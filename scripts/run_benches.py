@@ -9,6 +9,14 @@ the repo-root BENCH_*.json files.
 bench_perf_micro (google-benchmark) is handled specially: it is run with
 --benchmark_format=json and its structured output is written verbatim to
 the --micro-json path.
+
+Campaign scale-out: --checkpoint-dir makes every campaign bench write
+per-campaign checkpoint files (and the canonical <campaign>.json) there,
+so an interrupted invocation resumes instead of restarting; --shard i/N
+additionally restricts each campaign to its cell partition — run the
+same command with i = 0..N-1 (any mix of hosts), then fold the shard
+checkpoints with tools/gridsub_campaign_merge. Both flags are forwarded
+to the benches as GRIDSUB_CHECKPOINT_DIR / GRIDSUB_SHARD.
 """
 
 import argparse
@@ -33,12 +41,20 @@ def git_revision(repo_root):
         return "unknown"
 
 
-def run_report_bench(path, timeout, quick):
+def run_report_bench(path, timeout, quick, shard=None, checkpoint_dir=None):
     # Campaign benches honour GRIDSUB_BENCH_QUICK=1 by shrinking
     # replications (never axis coverage) so smoke runs stay fast. Set the
     # variable explicitly both ways: a full run must not silently inherit
     # quick mode from the caller's shell.
     env = dict(os.environ, GRIDSUB_BENCH_QUICK="1" if quick else "0")
+    if shard:
+        env["GRIDSUB_SHARD"] = shard
+    else:
+        env.pop("GRIDSUB_SHARD", None)
+    if checkpoint_dir:
+        env["GRIDSUB_CHECKPOINT_DIR"] = checkpoint_dir
+    else:
+        env.pop("GRIDSUB_CHECKPOINT_DIR", None)
     start = time.monotonic()
     try:
         proc = subprocess.run([path], capture_output=True, text=True,
@@ -100,7 +116,27 @@ def main():
                         help="short micro-bench repetitions for smoke runs")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-bench timeout in seconds")
+    parser.add_argument("--shard", default=None, metavar="i/N",
+                        help="run only cell partition i of N in every "
+                             "campaign bench (requires --checkpoint-dir; "
+                             "merge with gridsub_campaign_merge)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="campaign checkpoint directory: interrupted "
+                             "runs resume, finished campaigns also write "
+                             "<campaign>.json here")
     args = parser.parse_args()
+
+    if args.shard:
+        parts = args.shard.split("/")
+        if (len(parts) != 2 or not all(p.isdigit() for p in parts)
+                or int(parts[1]) == 0 or int(parts[0]) >= int(parts[1])):
+            parser.error(f"--shard '{args.shard}' is not 'i/N' with "
+                         "0 <= i < N")
+        if not args.checkpoint_dir:
+            parser.error("--shard requires --checkpoint-dir (shard cells "
+                         "live only in checkpoint files)")
+    if args.checkpoint_dir:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     report = {
@@ -111,6 +147,7 @@ def main():
         "host": platform.node(),
         "cpu_count": os.cpu_count(),
         "quick": args.quick,
+        "shard": args.shard,
         "results": {},
     }
 
@@ -133,7 +170,8 @@ def main():
             entry = run_micro_bench(path, args.micro_json, args.quick,
                                     args.timeout)
         else:
-            entry = run_report_bench(path, args.timeout, args.quick)
+            entry = run_report_bench(path, args.timeout, args.quick,
+                                     args.shard, args.checkpoint_dir)
         report["results"][name] = entry
         if entry.get("exit_code") != 0 or entry.get("error"):
             failures += 1

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Scale-out smoke: interrupted+resumed and sharded+merged campaign runs
+must produce byte-identical JSON to the straight-through run.
+
+Drives a real campaign bench binary (default: bench_ablation_sample_size,
+whose cells are deterministic in the cell seed) through the three
+workflows end to end:
+
+  1. straight    — one uninterrupted run with --checkpoint-dir; the bench
+                   writes the canonical <campaign>.json next to its
+                   checkpoint;
+  2. interrupted — the straight run's checkpoint is truncated (dropping
+                   whole records plus leaving a partial trailing line,
+                   i.e. exactly what kill -9 mid-append leaves) and the
+                   bench is re-run on it, resuming the missing cells;
+  3. sharded     — three processes each run --shard i/3 into a shared
+                   directory and gridsub_campaign_merge folds the shard
+                   checkpoints into one JSON.
+
+Any byte difference between (2) or (3) and (1) — JSON or bench stdout —
+is a failure. Exercises the same binaries and flags a multi-host user
+would, unlike the unit suites which drive the library API.
+"""
+
+import argparse
+import filecmp
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CAMPAIGN = "ablation_sample_size"
+
+
+def run(cmd, env_extra=None, **kwargs):
+    env = dict(os.environ)
+    env.pop("GRIDSUB_SHARD", None)
+    env.pop("GRIDSUB_CHECKPOINT_DIR", None)
+    env["GRIDSUB_BENCH_QUICK"] = "1"
+    env.update(env_extra or {})
+    print(f"[smoke] $ {' '.join(cmd)}"
+          + (f"  ({' '.join(f'{k}={v}' for k, v in env_extra.items())})"
+             if env_extra else ""), flush=True)
+    return subprocess.run(cmd, env=env, check=True, text=True,
+                          capture_output=True, **kwargs)
+
+
+def fail(msg):
+    print(f"[smoke] FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--merge-tool", required=True,
+                        help="path to gridsub_campaign_merge")
+    parser.add_argument("--bench", default=f"bench_{CAMPAIGN}")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the work directory for inspection")
+    args = parser.parse_args()
+
+    bench = os.path.join(args.bin_dir, args.bench)
+    work = tempfile.mkdtemp(prefix="gridsub-smoke-scaleout-")
+    straight = os.path.join(work, "straight")
+    resume = os.path.join(work, "resume")
+    shards = os.path.join(work, "shards")
+    for d in (straight, resume, shards):
+        os.makedirs(d)
+
+    try:
+        # 1. Straight-through run (the reference).
+        ref = run([bench], {"GRIDSUB_CHECKPOINT_DIR": straight})
+        ref_json = os.path.join(straight, f"{CAMPAIGN}.json")
+        ref_ckpt = os.path.join(straight, f"{CAMPAIGN}.ckpt")
+        if not os.path.exists(ref_json):
+            return fail(f"straight run wrote no {ref_json}")
+
+        # 2. Interrupted + resumed: keep the header and the first half of
+        # the records, then clip 20 bytes off the next record to fake the
+        # mid-append kill.
+        with open(ref_ckpt, "rb") as fh:
+            lines = fh.readlines()
+        n_keep = 1 + (len(lines) - 1) // 2
+        with open(os.path.join(resume, f"{CAMPAIGN}.ckpt"), "wb") as fh:
+            fh.writelines(lines[:n_keep])
+            fh.write(lines[n_keep][:max(len(lines[n_keep]) - 20, 5)])
+        resumed = run([bench], {"GRIDSUB_CHECKPOINT_DIR": resume})
+        if resumed.stdout != ref.stdout:
+            return fail("resumed bench stdout differs from straight run")
+        if not filecmp.cmp(os.path.join(resume, f"{CAMPAIGN}.json"),
+                           ref_json, shallow=False):
+            return fail("resumed campaign JSON differs from straight run")
+        print(f"[smoke] ok   interrupted+resumed run is byte-identical "
+              f"(resumed {len(lines) - n_keep} of {len(lines) - 1} cells)")
+
+        # 3. Three shards + merge.
+        for i in range(3):
+            run([bench], {"GRIDSUB_CHECKPOINT_DIR": shards,
+                          "GRIDSUB_SHARD": f"{i}/3"})
+        merged = os.path.join(work, "merged.json")
+        run([args.merge_tool, "--dir", shards, "--name", CAMPAIGN,
+             "--out", merged])
+        if not filecmp.cmp(merged, ref_json, shallow=False):
+            return fail("3-shard merged JSON differs from straight run")
+        print("[smoke] ok   3-shard merged run is byte-identical")
+        print("[smoke] scale-out smoke passed")
+        return 0
+    except subprocess.CalledProcessError as e:
+        sys.stderr.write(e.stderr or "")
+        return fail(f"command failed with exit code {e.returncode}")
+    finally:
+        if args.keep:
+            print(f"[smoke] work dir kept at {work}")
+        else:
+            shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,61 +1,31 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
-#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/checkpoint.hpp"
+#include "exp/json_util.hpp"
 #include "stats/rng.hpp"
 
 namespace gridsub::exp {
 
 namespace {
 
+using detail::json_escape;
+using detail::json_number;
+
 // Odd multipliers keep index 0 from collapsing the hash chain; the
 // constants are the SplitMix64 finalizer's own.
 constexpr std::uint64_t kScenarioSalt = 0x9E3779B97F4A7C15ull;
 constexpr std::uint64_t kStrategySalt = 0xBF58476D1CE4E5B9ull;
 constexpr std::uint64_t kReplicationSalt = 0x94D049BB133111EBull;
-
-void json_escape(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-// Shortest round-trip representation via std::to_chars: byte-identical for
-// equal doubles, locale-independent, and re-parses to the same value.
-void json_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    // JSON has no inf/nan; emit null so consumers fail loudly, not subtly.
-    os << "null";
-    return;
-  }
-  char buf[32];
-  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
-  os.write(buf, r.ptr - buf);
-}
 
 }  // namespace
 
@@ -84,6 +54,17 @@ CellContext CampaignAxes::cell(std::size_t flat) const {
   ctx.scenario = group / strategy_labels.size();
   ctx.seed = cell_seed(ctx.scenario, ctx.strategy, ctx.replication);
   return ctx;
+}
+
+void CampaignShard::validate() const {
+  if (count == 0) {
+    throw std::invalid_argument("CampaignShard: zero shard count");
+  }
+  if (index >= count) {
+    throw std::invalid_argument("CampaignShard: index " +
+                                std::to_string(index) + " not below count " +
+                                std::to_string(count));
+  }
 }
 
 void CampaignAxes::validate() const {
@@ -263,29 +244,160 @@ std::string CampaignResult::to_json() const {
 CampaignRunner::CampaignRunner(CampaignOptions options)
     : options_(std::move(options)) {}
 
-CampaignResult CampaignRunner::run(const CampaignAxes& axes,
-                                   const CellEvaluator& evaluate) const {
-  axes.validate();
-  if (!evaluate) {
-    throw std::invalid_argument("CampaignRunner::run: null evaluator");
+namespace {
+
+/// Cells already on disk before this run, restored from the checkpoint.
+struct ResumeState {
+  std::vector<bool> have;
+  std::vector<CellMetrics> metrics;  ///< valid where have[flat]
+  /// True when there is no usable checkpoint content yet (file absent or
+  /// blank) and the header must be written before the first record.
+  bool fresh = true;
+  /// Bytes of the file that parsed cleanly; a dropped partial tail is
+  /// truncated away before appending so it cannot glue onto new records.
+  std::size_t valid_bytes = 0;
+  /// The kept content lacks its final newline (whole-JSON clipped tail);
+  /// the writer must emit '\n' before its first appended record.
+  bool missing_final_newline = false;
+
+  explicit ResumeState(std::size_t n) : have(n, false), metrics(n) {}
+};
+
+/// Loads `path` if it holds checkpoint content and verifies it belongs to
+/// exactly this (axes, shard) before trusting any recorded cell.
+ResumeState resume_from(const std::string& path, const CampaignAxes& axes,
+                        const CampaignShard& shard) {
+  ResumeState state(axes.cell_count());
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return state;  // no checkpoint yet
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  if (content.empty() ||
+      content.find_first_not_of(" \t\r\n") == std::string::npos) {
+    return state;  // an empty placeholder file
   }
+  if (content.find('\n') == std::string::npos) {
+    // A newline-less file can be the artifact of a kill during the very
+    // first (header) write — but only if it reads as a clipped header.
+    // Then no record can exist and the run starts fresh (run_pending
+    // truncates to valid_bytes = 0 before writing the new header). Any
+    // other newline-less content means checkpoint_path points at some
+    // unrelated file, which must never be silently overwritten.
+    constexpr std::string_view kHeaderPrefix =
+        "{\"schema\": \"gridsub-checkpoint-v1\"";
+    const std::size_t overlap =
+        std::min(content.size(), kHeaderPrefix.size());
+    if (content.compare(0, overlap, kHeaderPrefix, 0, overlap) != 0) {
+      throw CheckpointError(path +
+                            ": not a gridsub checkpoint — refusing to "
+                            "overwrite it");
+    }
+    return state;
+  }
+  CampaignCheckpoint checkpoint = parse_checkpoint(content, path);
+  if (!same_campaign(checkpoint.axes, axes)) {
+    throw CheckpointError(path + ": checkpoint belongs to campaign '" +
+                          checkpoint.axes.name +
+                          "' with different axes/replications/root seed — "
+                          "refusing to resume '" + axes.name + "' from it");
+  }
+  if (checkpoint.shard.index != shard.index ||
+      checkpoint.shard.count != shard.count) {
+    throw CheckpointError(
+        path + ": checkpoint was written by shard " +
+        std::to_string(checkpoint.shard.index) + "/" +
+        std::to_string(checkpoint.shard.count) + ", not shard " +
+        std::to_string(shard.index) + "/" + std::to_string(shard.count) +
+        " — resume with the same partition or merge instead");
+  }
+  state.fresh = false;
+  state.valid_bytes = checkpoint.valid_bytes;
+  state.missing_final_newline = checkpoint.missing_final_newline;
+  for (CellResult& cell : checkpoint.cells) {
+    state.have[cell.context.flat] = true;
+    state.metrics[cell.context.flat] = std::move(cell.metrics);
+  }
+  return state;
+}
+
+/// Evaluates every not-yet-done cell owned by options.shard, appending
+/// each to the checkpoint file as it completes; returns the number of
+/// cells freshly evaluated.
+std::size_t run_pending(const CampaignOptions& options,
+                        const CampaignAxes& axes,
+                        const CellEvaluator& evaluate,
+                        const ResumeState& resume,
+                        std::vector<CellResult>& cells) {
   const std::size_t n = axes.cell_count();
-  std::vector<CellResult> cells(n);
+  const std::vector<bool>& done = resume.have;
   par::ThreadPool& pool =
-      options_.pool != nullptr ? *options_.pool : par::ThreadPool::shared();
+      options.pool != nullptr ? *options.pool : par::ThreadPool::shared();
+
+  std::ofstream checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    // Repair any kill artifact before appending: cut a dropped partial
+    // tail — or a clipped first header write, where valid_bytes is 0 —
+    // so it cannot glue onto new content and garble the file, and
+    // terminate a kept whole-JSON tail whose newline was clipped.
+    std::error_code ec;
+    if (std::filesystem::exists(options.checkpoint_path, ec) && !ec) {
+      std::filesystem::resize_file(options.checkpoint_path,
+                                   resume.valid_bytes, ec);
+      if (ec) {
+        throw CheckpointError("cannot truncate checkpoint file '" +
+                              options.checkpoint_path +
+                              "' to its valid prefix: " + ec.message());
+      }
+    }
+    checkpoint.open(options.checkpoint_path,
+                    std::ios::binary | std::ios::app);
+    if (!checkpoint) {
+      throw CheckpointError("cannot open checkpoint file '" +
+                            options.checkpoint_path + "' for writing");
+    }
+    if (resume.fresh) {
+      write_checkpoint_header(checkpoint, axes, options.shard);
+      checkpoint.flush();
+    } else if (resume.missing_final_newline) {
+      checkpoint << '\n';
+      checkpoint.flush();
+    }
+    if (!checkpoint) {
+      throw CheckpointError("cannot write checkpoint header to '" +
+                            options.checkpoint_path + "'");
+    }
+  }
 
   std::mutex progress_mutex;
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t flat = 0; flat < n; ++flat) {
-    futures.push_back(pool.submit([this, &axes, &evaluate, &cells,
-                                   &progress_mutex, flat] {
+    if (done[flat] || !options.shard.owns(flat)) continue;
+    futures.push_back(pool.submit([&options, &axes, &evaluate, &cells,
+                                   &progress_mutex, &checkpoint, flat] {
       CellResult result;
       result.context = axes.cell(flat);
       result.metrics = evaluate(result.context);
-      if (options_.on_cell) {
+      {
         const std::lock_guard lock(progress_mutex);
-        options_.on_cell(result);
+        if (checkpoint.is_open()) {
+          // One write + flush per record: a kill can only clip the final
+          // line, which readers drop (see exp/checkpoint.hpp).
+          std::ostringstream line;
+          append_checkpoint_cell(line, result);
+          checkpoint << line.str();
+          checkpoint.flush();
+          if (!checkpoint) {
+            // ENOSPC/EIO: fail the run instead of silently completing
+            // with nothing persisted — the crash-safety promise is the
+            // whole point of the file.
+            throw CheckpointError("failed to append cell " +
+                                  std::to_string(flat) +
+                                  " to checkpoint '" +
+                                  options.checkpoint_path + "'");
+          }
+        }
+        if (options.on_cell) options.on_cell(result);
       }
       cells[flat] = std::move(result);
     }));
@@ -301,7 +413,57 @@ CampaignResult CampaignRunner::run(const CampaignAxes& axes,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  return futures.size();
+}
+
+}  // namespace
+
+CampaignResult CampaignRunner::run(const CampaignAxes& axes,
+                                   const CellEvaluator& evaluate) const {
+  axes.validate();
+  if (!evaluate) {
+    throw std::invalid_argument("CampaignRunner::run: null evaluator");
+  }
+  options_.shard.validate();
+  if (options_.shard.active()) {
+    throw std::invalid_argument(
+        "CampaignRunner::run: options name shard " +
+        std::to_string(options_.shard.index) + "/" +
+        std::to_string(options_.shard.count) +
+        " but run() produces the whole grid — use run_shard() and "
+        "merge_checkpoints()");
+  }
+  const std::size_t n = axes.cell_count();
+  ResumeState resume(n);
+  if (!options_.checkpoint_path.empty()) {
+    resume = resume_from(options_.checkpoint_path, axes, options_.shard);
+  }
+  std::vector<CellResult> cells(n);
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    if (!resume.have[flat]) continue;
+    cells[flat].context = axes.cell(flat);
+    cells[flat].metrics = std::move(resume.metrics[flat]);
+  }
+  run_pending(options_, axes, evaluate, resume, cells);
   return CampaignResult(axes, std::move(cells));
+}
+
+std::size_t CampaignRunner::run_shard(const CampaignAxes& axes,
+                                      const CellEvaluator& evaluate) const {
+  axes.validate();
+  if (!evaluate) {
+    throw std::invalid_argument("CampaignRunner::run_shard: null evaluator");
+  }
+  options_.shard.validate();
+  if (options_.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "CampaignRunner::run_shard: options.checkpoint_path is required "
+        "(the shard's cells live only in the checkpoint file)");
+  }
+  ResumeState resume =
+      resume_from(options_.checkpoint_path, axes, options_.shard);
+  std::vector<CellResult> cells(axes.cell_count());
+  return run_pending(options_, axes, evaluate, resume, cells);
 }
 
 }  // namespace gridsub::exp

@@ -9,13 +9,24 @@
 // shards cells across the par::ThreadPool, and the result renders itself
 // as a report::Table or JSON.
 //
-// Determinism contract: every cell's seed is a SplitMix64 hash of
-// (root_seed, scenario, strategy, replication) only, results land in a
-// pre-sized slot indexed by the cell's flat index, and aggregation folds
-// in index order — so a campaign's output (JSON bytes included) is
-// identical at 1, 2, or N worker threads. CampaignRunner::run must be
-// called from outside the pool it executes on (cells may not recursively
-// launch campaigns on the same pool).
+// Determinism contract (the engine's one load-bearing guarantee):
+//
+//   seeding   — every cell's seed is a chained SplitMix64 hash of
+//               (root_seed, scenario, strategy, replication) and of
+//               nothing else: not thread count, not execution order,
+//               not which process evaluates the cell;
+//   placement — results land in a pre-sized slot indexed by the cell's
+//               flat index (row-major scenario → strategy → replication);
+//   fold order — aggregation folds each (scenario, strategy) group's
+//               replications in ascending flat-index order, so floating-
+//               point sums are schedule-independent.
+//
+// Together these make a campaign's output (JSON bytes included) identical
+// at 1, 2, or N worker threads — and, because the per-cell seed is also
+// process-independent, across interrupted-and-resumed runs and across
+// N-process sharded runs merged back together (exp/checkpoint.hpp).
+// CampaignRunner::run must be called from outside the pool it executes on
+// (cells may not recursively launch campaigns on the same pool).
 
 #include <cstddef>
 #include <cstdint>
@@ -43,6 +54,23 @@ struct CellContext {
 /// Ordered (name, value) metric list produced by one cell. All cells of a
 /// (scenario, strategy) group must emit the same names in the same order.
 using CellMetrics = std::vector<std::pair<std::string, double>>;
+
+/// The sub-grid one process owns in a multi-process campaign: cells whose
+/// flat index satisfies `flat % count == index`. Round-robin assignment
+/// interleaves scenarios and replications, so shards stay load-balanced
+/// even when cell cost varies along an axis. `{0, 1}` (the default) is
+/// the whole grid.
+struct CampaignShard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool active() const { return count > 1; }
+  [[nodiscard]] bool owns(std::size_t flat) const {
+    return flat % count == index;
+  }
+  /// Throws std::invalid_argument unless index < count and count >= 1.
+  void validate() const;
+};
 
 /// Evaluates one cell. Called concurrently from pool workers: it must not
 /// touch shared mutable state (everything it needs travels in the context
@@ -140,9 +168,22 @@ class CampaignResult {
 struct CampaignOptions {
   /// Pool to shard cells on; nullptr uses par::ThreadPool::shared().
   par::ThreadPool* pool = nullptr;
-  /// Progress callback, invoked under a mutex as cells finish (completion
-  /// order, i.e. nondeterministic — do not derive results from it).
+  /// Progress callback, invoked under a mutex as freshly evaluated cells
+  /// finish (completion order, i.e. nondeterministic — do not derive
+  /// results from it). Cells restored from a checkpoint are not replayed
+  /// through it.
   std::function<void(const CellResult&)> on_cell;
+  /// When non-empty, every completed cell is appended to this checkpoint
+  /// file (exp/checkpoint.hpp format) and flushed as it finishes, and a
+  /// later run with the same axes resumes by skipping recorded cells.
+  /// Because cells are seed-pure and metric doubles round-trip exactly,
+  /// an interrupted-and-resumed campaign produces byte-identical JSON to
+  /// a straight-through run.
+  std::string checkpoint_path;
+  /// The cell partition this process owns; `{0, 1}` (default) is the
+  /// whole grid. A multi-shard partition is only meaningful through
+  /// run_shard() + merge_checkpoints().
+  CampaignShard shard;
 };
 
 /// Executes campaign cells concurrently and deterministically.
@@ -152,9 +193,23 @@ class CampaignRunner {
 
   /// Runs every cell of `axes` through `evaluate`. Cells are submitted to
   /// the pool individually (dynamic load balancing; cell costs vary).
-  /// The first cell exception is rethrown after all cells have settled.
+  /// The first cell exception is rethrown after all cells have settled —
+  /// with checkpointing enabled, cells that completed before the failure
+  /// are already on disk, so the rerun resumes rather than restarts.
+  /// Throws std::invalid_argument when options name a multi-shard
+  /// partition (use run_shard) and CheckpointError when an existing
+  /// checkpoint is corrupt or belongs to a different campaign.
   [[nodiscard]] CampaignResult run(const CampaignAxes& axes,
                                    const CellEvaluator& evaluate) const;
+
+  /// Evaluates only this process's shard of the grid (options.shard),
+  /// appending completed cells to options.checkpoint_path (required) and
+  /// resuming from it when it already exists. Returns the number of cells
+  /// freshly evaluated (0 when the shard was already complete). The full
+  /// campaign result is recovered by merge_checkpoints() /
+  /// tools/gridsub_campaign_merge once every shard has run.
+  std::size_t run_shard(const CampaignAxes& axes,
+                        const CellEvaluator& evaluate) const;
 
  private:
   CampaignOptions options_;

@@ -1,0 +1,107 @@
+#pragma once
+
+// Campaign checkpoint files: crash-safe persistence and multi-process
+// sharding for the campaign engine.
+//
+// A checkpoint is a JSON-Lines file written and read only by gridsub:
+//
+//   line 1   header  — the full campaign identity (name, axis display
+//            names, axis labels, replications, root seed) plus the shard
+//            this file belongs to;
+//   line 2+  records — one completed cell each:
+//            {"cell": <flat>, "seed": <seed>, "metrics": {"name": v, ...}}
+//
+// The format round-trips exactly: metric values are written in shortest
+// std::to_chars form and re-parsed with std::from_chars, so a resumed or
+// merged campaign reproduces the *byte-identical* CampaignResult JSON of
+// an uninterrupted single-process run (cells are seed-pure; see
+// campaign.hpp's determinism contract).
+//
+// Crash model: records are appended and flushed one per completed cell.
+// A process killed mid-write can only leave a partial final line with no
+// terminating newline; readers drop that tail (the cell simply reruns on
+// resume). Any *newline-terminated* line that fails to parse, a header
+// that does not match the campaign being resumed, a record whose seed
+// disagrees with the axes' seed rule, or conflicting duplicate records
+// raise CheckpointError — corruption is a clean error, never silently
+// wrong results.
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace gridsub::exp {
+
+/// Raised on unreadable, corrupt, or mismatched checkpoint data.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed checkpoint: the campaign identity reconstructed from the
+/// header plus every completed cell on record (sorted by flat index;
+/// possibly a subset of the grid when the run was interrupted or sharded).
+struct CampaignCheckpoint {
+  CampaignAxes axes;
+  CampaignShard shard;
+  std::vector<CellResult> cells;  ///< completed cells, ascending flat index
+  /// True when the file ended in a partial record (the kill artifact);
+  /// the tail was dropped and its cell will rerun on resume.
+  bool dropped_partial_tail = false;
+  /// Bytes of the stream that parsed cleanly: up to and including the
+  /// last terminated record, or the whole stream when an unterminated
+  /// whole-JSON tail was kept. A resuming writer truncates the file to
+  /// this length before appending, so a dropped tail can never glue onto
+  /// the next record.
+  std::size_t valid_bytes = 0;
+  /// True when the kept content does not end in a newline (a whole-JSON
+  /// tail whose terminator was clipped); a resuming writer must emit
+  /// '\n' before its first record.
+  bool missing_final_newline = false;
+
+  /// True when every cell of the grid is on record.
+  [[nodiscard]] bool complete() const {
+    return cells.size() == axes.cell_count();
+  }
+};
+
+/// True when two axes describe the same campaign (name, axis display
+/// names, labels, replications, and root seed all equal) — the identity a
+/// resume or merge must verify before trusting recorded cells.
+[[nodiscard]] bool same_campaign(const CampaignAxes& a, const CampaignAxes& b);
+
+/// Writes the header line binding a checkpoint file to (axes, shard).
+void write_checkpoint_header(std::ostream& os, const CampaignAxes& axes,
+                             const CampaignShard& shard = {});
+
+/// Appends one completed cell as a single newline-terminated record.
+void append_checkpoint_cell(std::ostream& os, const CellResult& cell);
+
+/// Parses checkpoint content already in memory. `origin` names the
+/// source in error messages. Throws CheckpointError on corrupt or
+/// inconsistent content.
+[[nodiscard]] CampaignCheckpoint parse_checkpoint(
+    std::string_view content, const std::string& origin = "<memory>");
+
+/// Parses a whole checkpoint stream. `origin` names the source in error
+/// messages. Throws CheckpointError on corrupt or inconsistent content.
+[[nodiscard]] CampaignCheckpoint read_checkpoint(
+    std::istream& is, const std::string& origin = "<stream>");
+
+/// Reads and parses a checkpoint file; throws CheckpointError when the
+/// file cannot be opened.
+[[nodiscard]] CampaignCheckpoint load_checkpoint(const std::string& path);
+
+/// Folds shard checkpoints of one campaign into the canonical result.
+/// All headers must agree on the campaign identity (shards may differ);
+/// duplicate cells must agree exactly; every cell of the grid must be
+/// present. The result is byte-identical to a single uninterrupted run.
+[[nodiscard]] CampaignResult merge_checkpoints(
+    std::vector<CampaignCheckpoint> shards);
+
+}  // namespace gridsub::exp

@@ -16,6 +16,16 @@
 // GridConfig whose seed is the cell seed, so concurrent cells share no
 // mutable state (see sim/grid.hpp's thread-safety note). ScenarioCase
 // workloads are shared read-only across cells via shared_ptr.
+//
+// Determinism: a spec inherits the campaign engine's full contract
+// (campaign.hpp) — the cell seed is derived from (root_seed, scenario,
+// strategy, replication) alone, and run_strategy_cell consumes *only*
+// that seed as entropy. A spec's result is therefore byte-identical at
+// any thread count, across interrupted-and-resumed runs, and across
+// multi-process shards merged with exp/checkpoint.hpp: pass
+// CampaignOptions with a checkpoint_path (and optionally a shard) to
+// run_experiment, or drive CampaignRunner::run_shard directly with
+// make_cell_evaluator(spec).
 
 #include <cstddef>
 #include <cstdint>
@@ -88,6 +98,13 @@ struct ExperimentSpec {
                                             const sim::StrategySpec& strategy,
                                             const ClientConfig& clients,
                                             std::uint64_t seed);
+
+/// The evaluator run_experiment drives: resolves the cell's scenario and
+/// strategy from the spec and calls run_strategy_cell with the cell seed.
+/// For callers that operate the CampaignRunner directly (checkpointed or
+/// sharded runs, benches with custom options). `spec` is captured by
+/// reference and must outlive the returned evaluator.
+[[nodiscard]] CellEvaluator make_cell_evaluator(const ExperimentSpec& spec);
 
 /// Runs the spec on the campaign engine (spec need only live for the call).
 [[nodiscard]] CampaignResult run_experiment(const ExperimentSpec& spec,

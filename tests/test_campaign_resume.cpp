@@ -1,0 +1,165 @@
+// The scale-out acceptance criteria, proven on real simulation cells:
+// a campaign killed mid-run and resumed from its checkpoint, and the same
+// campaign run as 3 merged shards, both produce byte-identical JSON to
+// the single uninterrupted run — at different worker-thread counts, so
+// resume/shard determinism composes with thread determinism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/checkpoint.hpp"
+#include "exp/experiment.hpp"
+#include "traces/scenarios.hpp"
+
+namespace gridsub::exp {
+namespace {
+
+sim::GridConfig tiny_grid() {
+  sim::GridConfig config;
+  config.elements = {{8, 0.01}, {8, 0.02}};
+  config.background.arrival_rate = 0.0;
+  return config;
+}
+
+/// Two scenarios (replayed burst week + Poisson background) × two
+/// strategies × 3 replications of real DES cells — small enough for the
+/// sim shard, real enough to catch any seeding or fold-order drift.
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.name = "resume";
+  spec.root_seed = 4242;
+  spec.replications = 3;
+  spec.clients.tasks_per_client = 5;
+  spec.clients.warm_up = 500.0;
+
+  traces::ScenarioConfig scen;
+  scen.base_rate = 0.02;
+  scen.duration = 20000.0;
+  scen.seed = 5;
+  {
+    ScenarioCase sc;
+    sc.label = "burst";
+    sc.grid = tiny_grid();
+    sc.workload = std::make_shared<const traces::Workload>(
+        traces::make_scenario("burst-week", scen));
+    spec.scenarios.push_back(std::move(sc));
+  }
+  {
+    ScenarioCase sc;
+    sc.label = "poisson";
+    sc.grid = tiny_grid();
+    sc.grid.background.arrival_rate = 0.02;
+    spec.scenarios.push_back(std::move(sc));
+  }
+  spec.clients.horizon = 20000.0;
+
+  {
+    sim::StrategySpec s;
+    s.kind = core::StrategyKind::kSingleResubmission;
+    s.t_inf = 800.0;
+    spec.strategies.push_back({"single", s});
+  }
+  {
+    sim::StrategySpec s;
+    s.kind = core::StrategyKind::kMultipleSubmission;
+    s.b = 2;
+    s.t_inf = 800.0;
+    spec.strategies.push_back({"multiple", s});
+  }
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gridsub_test_resume";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+TEST(CampaignResumeSim, KilledAndResumedMatchesStraightThroughByteForByte) {
+  const ExperimentSpec spec = small_spec();
+  const std::string reference = run_experiment(spec).to_json();
+
+  const std::string path = temp_path("killed.ckpt");
+  const CellEvaluator evaluate = make_cell_evaluator(spec);
+
+  // "Kill" the first run after half the cells: the failing evaluator
+  // stands in for SIGKILL (same observable state — the completed cells'
+  // records are on disk, the rest never happened).
+  par::ThreadPool two(2);
+  CampaignOptions options;
+  options.pool = &two;
+  options.checkpoint_path = path;
+  EXPECT_THROW(
+      (void)CampaignRunner(options).run(
+          spec.axes(),
+          [&](const CellContext& ctx) {
+            if (ctx.flat >= spec.axes().cell_count() / 2) {
+              throw std::runtime_error("killed");
+            }
+            return evaluate(ctx);
+          }),
+      std::runtime_error);
+
+  // Clip the checkpoint's final bytes too — the true kill artifact.
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::string bytes = ss.str();
+    ASSERT_GT(bytes.size(), 10u);
+    bytes.resize(bytes.size() - 10);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+
+  // Resume on a *different* pool width; bytes must still match.
+  par::ThreadPool eight(8);
+  std::atomic<int> reran{0};
+  CampaignOptions resume_options;
+  resume_options.pool = &eight;
+  resume_options.checkpoint_path = path;
+  const CampaignResult resumed = CampaignRunner(resume_options)
+                                     .run(spec.axes(),
+                                          [&](const CellContext& ctx) {
+                                            ++reran;
+                                            return evaluate(ctx);
+                                          });
+  EXPECT_EQ(resumed.to_json(), reference);
+  // Half the grid died, plus the one clipped record.
+  EXPECT_EQ(static_cast<std::size_t>(reran.load()),
+            spec.axes().cell_count() / 2 + 1);
+}
+
+TEST(CampaignResumeSim, ThreeShardsMergedMatchStraightThroughByteForByte) {
+  const ExperimentSpec spec = small_spec();
+  const std::string reference = run_experiment(spec).to_json();
+  const CellEvaluator evaluate = make_cell_evaluator(spec);
+
+  // Each "host" runs its shard at a different thread count, like a real
+  // heterogeneous cluster would.
+  std::vector<CampaignCheckpoint> shards;
+  for (std::size_t i = 0; i < 3; ++i) {
+    par::ThreadPool pool(1 + i * 3);
+    CampaignOptions options;
+    options.pool = &pool;
+    options.checkpoint_path =
+        temp_path("shard" + std::to_string(i) + "of3.ckpt");
+    options.shard = {i, 3};
+    (void)CampaignRunner(options).run_shard(spec.axes(), evaluate);
+    shards.push_back(load_checkpoint(options.checkpoint_path));
+  }
+  EXPECT_EQ(merge_checkpoints(std::move(shards)).to_json(), reference);
+}
+
+}  // namespace
+}  // namespace gridsub::exp

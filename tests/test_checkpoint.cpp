@@ -1,0 +1,433 @@
+// Checkpoint format unit tests: exact round-trips, resume semantics on
+// analytic cells, shard partitioning, and — the part that matters when a
+// month-long campaign dies at 3am — corruption handling: a truncated
+// final line (the kill artifact) is dropped and rerun, while garbled
+// content, mismatched headers, wrong seeds, and conflicting duplicates
+// are clean CheckpointErrors, never silently wrong results.
+
+#include "exp/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gridsub::exp {
+namespace {
+
+CampaignAxes small_axes(std::size_t scenarios = 3, std::size_t strategies = 2,
+                        std::size_t reps = 4) {
+  CampaignAxes axes;
+  axes.name = "ckpt-test";
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    axes.scenario_labels.push_back("sc" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < strategies; ++i) {
+    axes.strategy_labels.push_back("st" + std::to_string(i));
+  }
+  axes.replications = reps;
+  axes.root_seed = 42;
+  return axes;
+}
+
+CellMetrics analytic_cell(const CellContext& ctx) {
+  return {{"value", static_cast<double>(ctx.seed % 1000) / 7.0},
+          {"index", static_cast<double>(ctx.flat)}};
+}
+
+/// Fresh per-test temp file path (removed up front; best-effort cleanup).
+std::string temp_path(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gridsub_test_checkpoint";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(CheckpointFormat, HeaderRoundTrips) {
+  const CampaignAxes axes = small_axes();
+  std::stringstream ss;
+  write_checkpoint_header(ss, axes, CampaignShard{1, 3});
+  const CampaignCheckpoint ck = read_checkpoint(ss, "mem");
+  EXPECT_TRUE(same_campaign(ck.axes, axes));
+  EXPECT_EQ(ck.shard.index, 1u);
+  EXPECT_EQ(ck.shard.count, 3u);
+  EXPECT_TRUE(ck.cells.empty());
+  EXPECT_FALSE(ck.complete());
+  EXPECT_FALSE(ck.dropped_partial_tail);
+}
+
+TEST(CheckpointFormat, AwkwardLabelCharactersSurvive) {
+  CampaignAxes axes = small_axes(1, 1, 1);
+  axes.name = "quote\" slash\\ tab\t newline\n ctrl\x01 done";
+  axes.scenario_labels = {"week \"0\""};
+  std::stringstream ss;
+  write_checkpoint_header(ss, axes);
+  EXPECT_TRUE(same_campaign(read_checkpoint(ss, "mem").axes, axes));
+}
+
+TEST(CheckpointFormat, CellMetricsRoundTripExactly) {
+  CampaignAxes axes = small_axes(1, 1, 1);
+  CellResult cell;
+  cell.context = axes.cell(0);
+  // Doubles chosen to stress shortest-form printing: non-terminating
+  // binary fractions, extreme magnitudes, negatives, and a NaN (written
+  // as null, read back as NaN).
+  cell.metrics = {{"a", 0.1},
+                  {"b", 1.0 / 3.0},
+                  {"c", -3.5e300},
+                  {"d", 5e-324},
+                  {"e", 12345678901234.5},
+                  {"nan", std::numeric_limits<double>::quiet_NaN()}};
+  std::stringstream ss;
+  write_checkpoint_header(ss, axes);
+  append_checkpoint_cell(ss, cell);
+  const CampaignCheckpoint ck = read_checkpoint(ss, "mem");
+  ASSERT_EQ(ck.cells.size(), 1u);
+  ASSERT_EQ(ck.cells[0].metrics.size(), cell.metrics.size());
+  for (std::size_t m = 0; m + 1 < cell.metrics.size(); ++m) {
+    EXPECT_EQ(ck.cells[0].metrics[m].first, cell.metrics[m].first);
+    // Bit-exact, not approximately equal: resume must reproduce bytes.
+    EXPECT_EQ(ck.cells[0].metrics[m].second, cell.metrics[m].second);
+  }
+  EXPECT_TRUE(std::isnan(ck.cells[0].metrics.back().second));
+  EXPECT_TRUE(ck.complete());
+}
+
+TEST(CheckpointResume, InterruptedRunResumesByteIdentically) {
+  const CampaignAxes axes = small_axes();
+  const std::string reference =
+      CampaignRunner().run(axes, analytic_cell).to_json();
+
+  const std::string path = temp_path("resume.ckpt");
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  // First pass dies on a third of the grid — the completed cells are
+  // already on disk when the failure surfaces.
+  EXPECT_THROW(
+      (void)CampaignRunner(options).run(axes,
+                                        [](const CellContext& ctx) {
+                                          if (ctx.flat % 3 == 2) {
+                                            throw std::runtime_error("kill");
+                                          }
+                                          return analytic_cell(ctx);
+                                        }),
+      std::runtime_error);
+
+  // Second pass evaluates only the missing cells and reproduces the
+  // uninterrupted bytes.
+  std::atomic<int> evaluated{0};
+  const CampaignResult resumed =
+      CampaignRunner(options).run(axes, [&](const CellContext& ctx) {
+        ++evaluated;
+        EXPECT_EQ(ctx.flat % 3, 2u);  // finished cells must not rerun
+        return analytic_cell(ctx);
+      });
+  EXPECT_EQ(resumed.to_json(), reference);
+  EXPECT_EQ(evaluated.load(), 8);  // 24 cells, every third failed
+
+  // A third pass finds everything done and evaluates nothing.
+  const CampaignResult complete =
+      CampaignRunner(options).run(axes, [](const CellContext&) -> CellMetrics {
+        ADD_FAILURE() << "complete checkpoint re-evaluated a cell";
+        return {};
+      });
+  EXPECT_EQ(complete.to_json(), reference);
+}
+
+TEST(CheckpointResume, PartialTrailingLineIsDroppedAndRerun) {
+  const CampaignAxes axes = small_axes();
+  const std::string reference =
+      CampaignRunner().run(axes, analytic_cell).to_json();
+
+  const std::string path = temp_path("partial-tail.ckpt");
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  (void)CampaignRunner(options).run(axes, analytic_cell);
+
+  // Clip the final record mid-metrics — what a kill -9 during the last
+  // append leaves behind.
+  std::string bytes = slurp(path);
+  const std::size_t last_line = bytes.rfind('\n', bytes.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  bytes.resize(last_line + 1 + 25);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+  const CampaignCheckpoint ck = load_checkpoint(path);
+  EXPECT_TRUE(ck.dropped_partial_tail);
+  EXPECT_EQ(ck.cells.size(), axes.cell_count() - 1);
+
+  std::atomic<int> evaluated{0};
+  const CampaignResult resumed =
+      CampaignRunner(options).run(axes, [&](const CellContext& ctx) {
+        ++evaluated;
+        return analytic_cell(ctx);
+      });
+  EXPECT_EQ(evaluated.load(), 1);
+  EXPECT_EQ(resumed.to_json(), reference);
+  // The resume truncated the junk tail before appending, so the file is
+  // whole again — a further read (e.g. a merge) must see every cell.
+  const CampaignCheckpoint healed = load_checkpoint(path);
+  EXPECT_TRUE(healed.complete());
+  EXPECT_FALSE(healed.dropped_partial_tail);
+}
+
+TEST(CheckpointResume, AppendAfterKeptUnterminatedTailStaysParseable) {
+  const CampaignAxes axes = small_axes();
+  const std::string reference =
+      CampaignRunner().run(axes, analytic_cell).to_json();
+
+  // Interrupted run: some cells on disk, the rest missing.
+  const std::string path = temp_path("kept-tail.ckpt");
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  EXPECT_THROW(
+      (void)CampaignRunner(options).run(axes,
+                                        [](const CellContext& ctx) {
+                                          if (ctx.flat % 2 == 1) {
+                                            throw std::runtime_error("kill");
+                                          }
+                                          return analytic_cell(ctx);
+                                        }),
+      std::runtime_error);
+
+  // Clip exactly the final newline: the tail is complete JSON and is
+  // kept, but the writer must re-terminate it before appending or the
+  // next record glues onto the same line.
+  std::string bytes = slurp(path);
+  ASSERT_EQ(bytes.back(), '\n');
+  bytes.pop_back();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+  const CampaignResult resumed =
+      CampaignRunner(options).run(axes, analytic_cell);
+  EXPECT_EQ(resumed.to_json(), reference);
+  const CampaignCheckpoint healed = load_checkpoint(path);
+  EXPECT_TRUE(healed.complete());
+  EXPECT_FALSE(healed.dropped_partial_tail);
+}
+
+TEST(CheckpointResume, ClippedFirstHeaderWriteStartsFresh) {
+  const CampaignAxes axes = small_axes();
+  const std::string reference =
+      CampaignRunner().run(axes, analytic_cell).to_json();
+
+  // A kill during the very first (header) write leaves a newline-less
+  // fragment; resuming must start fresh, not abort, and must heal the
+  // file rather than appending after the junk.
+  const std::string path = temp_path("clipped-header.ckpt");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "{\"schema\": \"gridsub-ch";
+  }
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  const CampaignResult result =
+      CampaignRunner(options).run(axes, analytic_cell);
+  EXPECT_EQ(result.to_json(), reference);
+  const CampaignCheckpoint healed = load_checkpoint(path);
+  EXPECT_TRUE(healed.complete());
+  EXPECT_FALSE(healed.dropped_partial_tail);
+}
+
+TEST(CheckpointResume, RefusesToOverwriteAnUnrelatedNewlineLessFile) {
+  // The clipped-header leniency must only apply to actual clipped
+  // headers: pointing checkpoint_path at some other newline-less file is
+  // a clean error, never silent destruction of that file.
+  const std::string path = temp_path("unrelated.txt.ckpt");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "important unrelated one-line file without trailing newline";
+  }
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  const CampaignAxes axes = small_axes();
+  EXPECT_THROW((void)CampaignRunner(options).run(axes, analytic_cell),
+               CheckpointError);
+  EXPECT_EQ(slurp(path),
+            "important unrelated one-line file without trailing newline");
+}
+
+TEST(CheckpointCorruption, GarbledTerminatedLineIsACleanError) {
+  const std::string path = temp_path("garbled.ckpt");
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  const CampaignAxes axes = small_axes();
+  (void)CampaignRunner(options).run(axes, analytic_cell);
+
+  // Flip bytes in the middle of a *newline-terminated* record: unlike a
+  // clipped tail this can only be corruption, so resuming must refuse
+  // loudly instead of quietly recomputing (or worse, half-trusting) it.
+  std::string bytes = slurp(path);
+  const std::size_t pos = bytes.find("\"metrics\"", bytes.find('\n') + 1);
+  ASSERT_NE(pos, std::string::npos);
+  bytes.replace(pos, 9, "\"met?ics\"");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+  EXPECT_THROW((void)load_checkpoint(path), CheckpointError);
+  EXPECT_THROW((void)CampaignRunner(options).run(axes, analytic_cell),
+               CheckpointError);
+}
+
+TEST(CheckpointCorruption, BadSchemaOrMissingHeaderThrows) {
+  {
+    std::stringstream ss;
+    ss << "{\"schema\": \"something-else-v9\"}\n";
+    EXPECT_THROW((void)read_checkpoint(ss, "mem"), CheckpointError);
+  }
+  {
+    std::stringstream empty;
+    EXPECT_THROW((void)read_checkpoint(empty, "mem"), CheckpointError);
+  }
+}
+
+TEST(CheckpointCorruption, DifferentCampaignOrShardRefusesToResume) {
+  const std::string path = temp_path("mismatch.ckpt");
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  const CampaignAxes axes = small_axes();
+  (void)CampaignRunner(options).run(axes, analytic_cell);
+
+  // Same grid shape, different root seed: all recorded cells would carry
+  // foreign RNG streams.
+  CampaignAxes other = axes;
+  other.root_seed = 43;
+  EXPECT_THROW((void)CampaignRunner(options).run(other, analytic_cell),
+               CheckpointError);
+  // A whole-grid run must not silently adopt a shard's partial file.
+  CampaignOptions shard_options;
+  shard_options.checkpoint_path = temp_path("mismatch-shard.ckpt");
+  shard_options.shard = {0, 3};
+  const CampaignRunner shard_runner(shard_options);
+  EXPECT_GT(shard_runner.run_shard(axes, analytic_cell), 0u);
+  options.checkpoint_path = shard_options.checkpoint_path;
+  EXPECT_THROW((void)CampaignRunner(options).run(axes, analytic_cell),
+               CheckpointError);
+}
+
+TEST(CheckpointCorruption, WrongSeedOrCellIndexThrows) {
+  const CampaignAxes axes = small_axes();
+  {
+    std::stringstream ss;
+    write_checkpoint_header(ss, axes);
+    ss << "{\"cell\": 0, \"seed\": 1, \"metrics\": {\"v\": 1}}\n";
+    EXPECT_THROW((void)read_checkpoint(ss, "mem"), CheckpointError);
+  }
+  {
+    std::stringstream ss;
+    write_checkpoint_header(ss, axes);
+    ss << "{\"cell\": 24, \"seed\": 1, \"metrics\": {\"v\": 1}}\n";
+    EXPECT_THROW((void)read_checkpoint(ss, "mem"), CheckpointError);
+  }
+}
+
+TEST(CheckpointCorruption, DuplicateRecordsMustAgree) {
+  const CampaignAxes axes = small_axes();
+  CellResult cell;
+  cell.context = axes.cell(5);
+  cell.metrics = {{"v", 1.25}};
+  std::stringstream ss;
+  write_checkpoint_header(ss, axes);
+  append_checkpoint_cell(ss, cell);
+  append_checkpoint_cell(ss, cell);  // benign duplicate
+  const CampaignCheckpoint ck = read_checkpoint(ss, "mem");
+  EXPECT_EQ(ck.cells.size(), 1u);
+
+  cell.metrics = {{"v", 2.5}};
+  append_checkpoint_cell(ss, cell);  // conflicting duplicate
+  ss.clear();
+  ss.seekg(0);
+  EXPECT_THROW((void)read_checkpoint(ss, "mem"), CheckpointError);
+
+  // NaN metrics (written as null) must not turn identical duplicates
+  // into conflicts: record equality is bitwise, not operator==.
+  std::stringstream nan_ss;
+  write_checkpoint_header(nan_ss, axes);
+  cell.metrics = {{"v", std::numeric_limits<double>::quiet_NaN()}};
+  append_checkpoint_cell(nan_ss, cell);
+  append_checkpoint_cell(nan_ss, cell);
+  EXPECT_EQ(read_checkpoint(nan_ss, "mem").cells.size(), 1u);
+}
+
+TEST(CheckpointShard, ThreeShardsMergeToTheCanonicalResult) {
+  const CampaignAxes axes = small_axes();
+  const std::string reference =
+      CampaignRunner().run(axes, analytic_cell).to_json();
+
+  std::vector<CampaignCheckpoint> shards;
+  for (std::size_t i = 0; i < 3; ++i) {
+    CampaignOptions options;
+    options.checkpoint_path =
+        temp_path("shard" + std::to_string(i) + ".ckpt");
+    options.shard = {i, 3};
+    const std::size_t evaluated =
+        CampaignRunner(options).run_shard(axes, analytic_cell);
+    EXPECT_EQ(evaluated, axes.cell_count() / 3);
+    // Shard runs resume too: immediately rerunning evaluates nothing.
+    EXPECT_EQ(CampaignRunner(options).run_shard(axes, analytic_cell), 0u);
+    shards.push_back(load_checkpoint(options.checkpoint_path));
+  }
+  EXPECT_EQ(merge_checkpoints(std::move(shards)).to_json(), reference);
+}
+
+TEST(CheckpointShard, MergeRejectsIncompleteOrForeignShards) {
+  const CampaignAxes axes = small_axes();
+  CampaignOptions options;
+  options.checkpoint_path = temp_path("lonely-shard.ckpt");
+  options.shard = {0, 3};
+  (void)CampaignRunner(options).run_shard(axes, analytic_cell);
+  std::vector<CampaignCheckpoint> shards;
+  shards.push_back(load_checkpoint(options.checkpoint_path));
+  // Two of three shards never ran.
+  EXPECT_THROW((void)merge_checkpoints(std::move(shards)), CheckpointError);
+
+  CampaignAxes other = small_axes();
+  other.name = "other-campaign";
+  std::stringstream ss;
+  write_checkpoint_header(ss, other);
+  std::vector<CampaignCheckpoint> mixed;
+  mixed.push_back(load_checkpoint(options.checkpoint_path));
+  mixed.push_back(read_checkpoint(ss, "mem"));
+  EXPECT_THROW((void)merge_checkpoints(std::move(mixed)), CheckpointError);
+  EXPECT_THROW((void)merge_checkpoints({}), CheckpointError);
+}
+
+TEST(CheckpointShard, RunRejectsMultiShardOptionsAndMissingPath) {
+  const CampaignAxes axes = small_axes();
+  CampaignOptions sharded;
+  sharded.checkpoint_path = temp_path("reject.ckpt");
+  sharded.shard = {1, 3};
+  EXPECT_THROW((void)CampaignRunner(sharded).run(axes, analytic_cell),
+               std::invalid_argument);
+  CampaignOptions pathless;
+  pathless.shard = {1, 3};
+  EXPECT_THROW(
+      (void)CampaignRunner(pathless).run_shard(axes, analytic_cell),
+      std::invalid_argument);
+  EXPECT_THROW((CampaignShard{3, 3}.validate()), std::invalid_argument);
+  EXPECT_THROW((CampaignShard{0, 0}.validate()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsub::exp

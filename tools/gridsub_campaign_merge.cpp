@@ -1,0 +1,121 @@
+// Folds N shard checkpoint files of one campaign into the single
+// canonical result JSON — the multi-host story: run each shard with
+// `--shard i/N` (or CampaignRunner::run_shard) on its own machine, copy
+// the .ckpt files together, merge here. The merged output is
+// byte-identical to a single uninterrupted run of the whole campaign
+// (see src/exp/campaign.hpp's determinism contract).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "exp/checkpoint.hpp"
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridsub;
+
+  tools::Cli cli(
+      "gridsub_campaign_merge",
+      "merge campaign shard checkpoints into the canonical result JSON",
+      {
+          {"--in", "comma-separated checkpoint files to merge"},
+          {"--dir", "directory: merge every *.ckpt inside (sorted)"},
+          {"--name", "with --dir: only checkpoints of this campaign"},
+          {"--out", "output JSON path (default: stdout)"},
+          {"--summary", "also print the aggregate table to stderr"},
+      },
+      {"--summary"});
+  cli.parse(argc, argv);
+
+  try {
+    std::vector<std::string> paths;
+    if (const auto in = cli.get("--in")) {
+      paths = split_commas(*in);
+    }
+    if (const auto dir = cli.get("--dir")) {
+      for (const auto& entry : std::filesystem::directory_iterator(*dir)) {
+        if (entry.path().extension() == ".ckpt") {
+          paths.push_back(entry.path().string());
+        }
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "gridsub_campaign_merge: no checkpoints (give --in or "
+                   "--dir)\n");
+      return 2;
+    }
+
+    const auto name_filter = cli.get("--name");
+    std::vector<exp::CampaignCheckpoint> shards;
+    for (const std::string& path : paths) {
+      exp::CampaignCheckpoint shard = exp::load_checkpoint(path);
+      if (name_filter && shard.axes.name != *name_filter) continue;
+      std::fprintf(stderr, "[merge] %s: campaign '%s' shard %zu/%zu, %zu "
+                   "cells%s\n",
+                   path.c_str(), shard.axes.name.c_str(), shard.shard.index,
+                   shard.shard.count, shard.cells.size(),
+                   shard.dropped_partial_tail ? " (partial tail dropped)"
+                                              : "");
+      shards.push_back(std::move(shard));
+    }
+    if (shards.empty()) {
+      std::fprintf(stderr,
+                   "gridsub_campaign_merge: no checkpoints matched "
+                   "--name '%s'\n",
+                   name_filter ? name_filter->c_str() : "");
+      return 2;
+    }
+    const exp::CampaignResult result =
+        exp::merge_checkpoints(std::move(shards));
+
+    const std::string out = cli.get_or("--out", "-");
+    if (out == "-") {
+      result.write_json(std::cout);
+    } else {
+      std::ofstream os(out, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "gridsub_campaign_merge: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+      }
+      result.write_json(os);
+      std::fprintf(stderr, "[merge] wrote %s (%zu cells, %zu aggregate "
+                   "rows)\n",
+                   out.c_str(), result.cells().size(),
+                   result.aggregates().size());
+    }
+    if (cli.flag("--summary")) {
+      std::ostringstream table;
+      result.summary_table().print(table);
+      std::fputs(table.str().c_str(), stderr);
+    }
+  } catch (const std::exception& e) {
+    // CheckpointError, CampaignResult's metric-consistency logic_error,
+    // filesystem errors from --dir — all corruption/IO, all exit 1.
+    std::fprintf(stderr, "gridsub_campaign_merge: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
