@@ -4,16 +4,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "core/cost.hpp"
 #include "core/delayed_resubmission.hpp"
 #include "core/multiple_submission.hpp"
 #include "core/single_resubmission.hpp"
+#include "exp/experiment.hpp"
 #include "mc/mc_engine.hpp"
 #include "model/discretized.hpp"
+#include "sim/computing_element.hpp"
 #include "sim/grid.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
 #include "traces/datasets.hpp"
+#include "traces/scenarios.hpp"
 
 namespace {
 
@@ -109,6 +115,116 @@ void BM_McDelayed(benchmark::State& state) {
 }
 BENCHMARK(BM_McDelayed)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+// DES core microbenches. The event callbacks capture a payload sized like
+// the real hot events (ComputingElement's completion lambda: object pointer
+// + job handle + a stored std::function) so allocation behaviour matches
+// the simulation, not a toy captureless lambda.
+struct EventPayload {
+  void* owner;
+  std::uint64_t handle;
+  std::uint64_t filler[4];
+};
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  const EventPayload payload{&sink, 42, {1, 2, 3, 4}};
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      q.push(static_cast<double>((i * 7919) % 997),
+             [&sink, payload] { sink += payload.handle; });
+    }
+    while (!q.empty()) q.pop().fn();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventQueueCancelStorm(benchmark::State& state) {
+  // The timeout-strategy pattern: schedule a timeout, the job starts first,
+  // cancel and reschedule — millions of times per simulated week.
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  const EventPayload payload{&sink, 7, {1, 2, 3, 4}};
+  q.push(1e18, [] {});  // one long-lived survivor keeps the queue non-empty
+  constexpr int kBatch = 256;
+  double t = 1.0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const sim::EventId id =
+          q.push(t + i, [&sink, payload] { sink += payload.handle; });
+      benchmark::DoNotOptimize(q.cancel(id));
+    }
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_EventQueueCancelStorm);
+
+void BM_CeSubmitCancel(benchmark::State& state) {
+  // Submit into a saturated CE and cancel while queued — the strategy
+  // clients' dominant interaction with the batch queue.
+  sim::Simulator des;
+  sim::ComputingElement ce(des, "bench-ce", 4, 0.0, stats::Rng(1));
+  for (int i = 0; i < 4; ++i) ce.submit(1e18, nullptr);  // pin all slots
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const auto handle = ce.submit(10.0, nullptr);
+      benchmark::DoNotOptimize(ce.cancel(handle));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_CeSubmitCancel);
+
+void BM_DelayedTuneFit(benchmark::State& state) {
+  // One campaign fit-stage unit: build the strategy evaluator (survival
+  // prefix grids) and tune (t0, t_inf) — the Nelder-Mead objective calls
+  // product_integrals a few hundred times.
+  const auto& m = model_2006();
+  for (auto _ : state) {
+    const core::DelayedResubmission d(m);
+    benchmark::DoNotOptimize(d.optimize());
+  }
+}
+BENCHMARK(BM_DelayedTuneFit)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioWeekCell(benchmark::State& state) {
+  // One full trace-replay campaign cell (the unit every campaign grid is
+  // made of): replayed diurnal week on the egee_like grid, warm-up, one
+  // delayed-resubmission client to the horizon.
+  static const exp::ScenarioCase scenario = [] {
+    traces::ScenarioConfig scen;
+    scen.base_rate = 0.30;
+    scen.seed = 20090611;
+    exp::ScenarioCase sc;
+    sc.label = "diurnal-week";
+    sc.grid = sim::GridConfig::egee_like();
+    sc.grid.background.arrival_rate = 0.0;
+    sc.workload = std::make_shared<const traces::Workload>(
+        traces::make_scenario("diurnal-week", scen));
+    return sc;
+  }();
+  sim::StrategySpec strategy;
+  strategy.kind = core::StrategyKind::kDelayedResubmission;
+  strategy.t0 = 900.0;
+  strategy.t_inf = 1500.0;
+  exp::ClientConfig clients;
+  clients.warm_up = 6.0 * 3600.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::run_strategy_cell(scenario, strategy, clients, 20090611));
+  }
+}
+BENCHMARK(BM_ScenarioWeekCell)->Unit(benchmark::kMillisecond);
 
 void BM_DesEventRate(benchmark::State& state) {
   for (auto _ : state) {

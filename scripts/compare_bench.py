@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_perf_micro.json files (google-benchmark JSON format).
+
+Matches benchmarks by name, normalizes times to nanoseconds, and prints a
+table of baseline vs candidate with the speedup factor, so a claimed
+optimization ships with its measurement. Use --format markdown to publish
+the table as a CI job summary.
+
+Exit code is 0 unless --fail-below is given: then any benchmark whose
+speedup falls below the threshold (i.e. a regression worse than 1/x) fails
+the run. By default the diff is informational — microbench noise on shared
+CI runners should not block merges.
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"compare_bench: cannot read {path}: {exc}")
+    benches = {}
+    for entry in payload.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue  # compare raw runs, not mean/median/stddev rows
+        unit = UNIT_TO_NS.get(entry.get("time_unit", "ns"))
+        if unit is None or "real_time" not in entry:
+            continue
+        benches[entry["name"]] = {
+            "ns": entry["real_time"] * unit,
+            "items_per_second": entry.get("items_per_second"),
+        }
+    return payload.get("context", {}), benches
+
+
+def fmt_time(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def context_warnings(base_ctx, new_ctx):
+    warnings = []
+    # library_build_type describes google-benchmark itself (often a debug
+    # distro build); only the library under test must be Release.
+    for key in ("gridsub_build_type", "library_build_type"):
+        a, b = base_ctx.get(key, "?"), new_ctx.get(key, "?")
+        if str(a).lower() != str(b).lower():
+            warnings.append(f"{key} differs: baseline={a} candidate={b}")
+    gridsub_type = str(new_ctx.get("gridsub_build_type", "?"))
+    if gridsub_type.lower() not in ("release", "?"):
+        warnings.append(
+            f"candidate gridsub_build_type is '{gridsub_type}', not Release")
+    if base_ctx.get("host_name") != new_ctx.get("host_name"):
+        warnings.append(
+            f"hosts differ: baseline={base_ctx.get('host_name', '?')} "
+            f"candidate={new_ctx.get('host_name', '?')} — times are not "
+            "directly comparable")
+    return warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_perf_micro.json")
+    parser.add_argument("candidate", help="candidate BENCH_perf_micro.json")
+    parser.add_argument("--format", choices=("text", "markdown"),
+                        default="text")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="X",
+                        help="exit 1 if any benchmark's speedup is below X "
+                             "(e.g. 0.8 tolerates a 20%% regression)")
+    args = parser.parse_args()
+
+    base_ctx, base = load(args.baseline)
+    new_ctx, new = load(args.candidate)
+
+    names = [n for n in base if n in new]
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+
+    rows = []
+    worst = None
+    for name in names:
+        speedup = base[name]["ns"] / new[name]["ns"]
+        rows.append((name, base[name]["ns"], new[name]["ns"], speedup))
+        if worst is None or speedup < worst:
+            worst = speedup
+
+    md = args.format == "markdown"
+    if md:
+        print("| benchmark | baseline | candidate | speedup |")
+        print("|---|---:|---:|---:|")
+    else:
+        width = max((len(n) for n in names), default=12)
+        print(f"{'benchmark':<{width}}  {'baseline':>10}  "
+              f"{'candidate':>10}  speedup")
+    for name, b_ns, n_ns, speedup in rows:
+        mark = ""
+        if speedup >= 1.25:
+            mark = " (faster)" if not md else " 🚀"
+        elif speedup <= 0.8:
+            mark = " (SLOWER)" if not md else " ⚠️"
+        if md:
+            print(f"| `{name}` | {fmt_time(b_ns)} | {fmt_time(n_ns)} | "
+                  f"{speedup:.2f}x{mark} |")
+        else:
+            print(f"{name:<{width}}  {fmt_time(b_ns):>10}  "
+                  f"{fmt_time(n_ns):>10}  {speedup:.2f}x{mark}")
+
+    prefix = "- " if md else ""
+    for name in only_base:
+        print(f"{prefix}only in baseline: {name}")
+    for name in only_new:
+        print(f"{prefix}only in candidate: {name}")
+    for warning in context_warnings(base_ctx, new_ctx):
+        print(f"{prefix}warning: {warning}")
+
+    if not rows:
+        print(f"{prefix}no common benchmarks to compare")
+        return 1
+    if args.fail_below is not None and worst < args.fail_below:
+        print(f"{prefix}FAIL: worst speedup {worst:.2f}x is below "
+              f"--fail-below {args.fail_below}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,14 @@ git revision, so successive PRs accumulate a comparable perf trajectory in
 the repo-root BENCH_*.json files.
 
 bench_perf_micro (google-benchmark) is handled specially: it is run with
---benchmark_format=json and its structured output is written verbatim to
-the --micro-json path.
+--benchmark_format=json and its structured output is written to the
+--micro-json path with the gridsub build type added to the context.
+
+Build-type guard: the runner reads the gridsub_build_info.json stamp the
+CMake configure writes at the build root and refuses to record numbers
+from a non-Release (or sanitized) build; --allow-debug downgrades the
+refusal to a loud warning. Diff two recorded micro JSONs with
+scripts/compare_bench.py.
 
 Campaign scale-out: --checkpoint-dir makes every campaign bench write
 per-campaign checkpoint files (and the canonical <campaign>.json) there,
@@ -29,6 +35,52 @@ import sys
 import time
 
 MICRO_BENCH = "bench_perf_micro"
+
+
+def read_build_info(bin_dir):
+    """Locates the gridsub_build_info.json stamp CMake writes at the build
+    root (bin_dir is usually <build>/bench, so walk a few levels up)."""
+    directory = os.path.abspath(bin_dir)
+    for _ in range(4):
+        path = os.path.join(directory, "gridsub_build_info.json")
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    return json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                return None
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return None
+
+
+def enforce_release_build(build_info, allow_debug):
+    """Performance JSON recorded from a non-Release build is misleading at
+    best; refuse to run unless the caller explicitly overrides, and then
+    still warn loudly (the warning also lands in CI logs)."""
+    if build_info is None:
+        print("[bench] WARNING: no gridsub_build_info.json found near the "
+              "bin dir; cannot verify the build type (configure with the "
+              "current CMakeLists to get the stamp)", file=sys.stderr)
+        return None
+    build_type = str(build_info.get("build_type", "unknown"))
+    sanitized = bool(build_info.get("asan", False))
+    if build_type.lower() == "release" and not sanitized:
+        return build_type
+    problem = (f"sanitized ({build_type})" if sanitized
+               else f"build type '{build_type}'")
+    if not allow_debug:
+        print(f"[bench] REFUSING to record benchmarks from a {problem} "
+              "build. Configure with --preset release (or pass "
+              "--allow-debug to record anyway, loudly).", file=sys.stderr)
+        sys.exit(2)
+    banner = "!" * 66
+    print(f"{banner}\n[bench] WARNING: recording benchmarks from a "
+          f"{problem} build — numbers are NOT comparable to Release "
+          f"baselines\n{banner}", file=sys.stderr)
+    return build_type
 
 
 def git_revision(repo_root):
@@ -74,7 +126,7 @@ def run_report_bench(path, timeout, quick, shard=None, checkpoint_dir=None):
         }
 
 
-def run_micro_bench(path, micro_json, quick, timeout):
+def run_micro_bench(path, micro_json, quick, timeout, build_type=None):
     args = [path, "--benchmark_format=json"]
     if quick:
         # Plain double form: the "0.05s" suffix syntax needs benchmark >= 1.8.
@@ -93,6 +145,11 @@ def run_micro_bench(path, micro_json, quick, timeout):
         except json.JSONDecodeError:
             entry["error"] = "non-JSON benchmark output"
             return entry
+        # google-benchmark's "library_build_type" describes the benchmark
+        # library, not gridsub; record the library under test explicitly so
+        # compare_bench.py can flag debug-vs-release comparisons.
+        payload.setdefault("context", {})["gridsub_build_type"] = (
+            build_type or "unknown")
         with open(micro_json, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
@@ -114,6 +171,9 @@ def main():
                         help="where to write bench_perf_micro's native JSON")
     parser.add_argument("--quick", action="store_true",
                         help="short micro-bench repetitions for smoke runs")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="record benches from a non-Release build "
+                             "anyway (a loud warning replaces the refusal)")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-bench timeout in seconds")
     parser.add_argument("--shard", default=None, metavar="i/N",
@@ -138,6 +198,9 @@ def main():
     if args.checkpoint_dir:
         os.makedirs(args.checkpoint_dir, exist_ok=True)
 
+    build_info = read_build_info(args.bin_dir)
+    build_type = enforce_release_build(build_info, args.allow_debug)
+
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     report = {
         "schema": "gridsub-bench-v1",
@@ -146,6 +209,7 @@ def main():
         "git_revision": git_revision(repo_root),
         "host": platform.node(),
         "cpu_count": os.cpu_count(),
+        "gridsub_build_type": build_type or "unknown",
         "quick": args.quick,
         "shard": args.shard,
         "results": {},
@@ -168,7 +232,7 @@ def main():
         print(f"[bench] running {name} ...", flush=True)
         if name == MICRO_BENCH and args.micro_json:
             entry = run_micro_bench(path, args.micro_json, args.quick,
-                                    args.timeout)
+                                    args.timeout, build_type)
         else:
             entry = run_report_bench(path, args.timeout, args.quick,
                                      args.shard, args.checkpoint_dir)

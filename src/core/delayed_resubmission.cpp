@@ -32,13 +32,12 @@ double interp_prefix(const std::vector<double>& prefix, double step,
 
 DelayedResubmission::DelayedResubmission(
     const model::DiscretizedLatencyModel& m)
-    : model_(m) {
-  const auto grid = model_.ftilde_grid();
+    : model_(m), fgrid_(m.ftilde_grid()) {
   const double step = model_.step();
-  std::vector<double> s(grid.size());
-  std::vector<double> us(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    s[i] = 1.0 - grid[i];
+  std::vector<double> s(fgrid_.size());
+  std::vector<double> us(fgrid_.size());
+  for (std::size_t i = 0; i < fgrid_.size(); ++i) {
+    s[i] = 1.0 - fgrid_[i];
     us[i] = model_.t_at(i) * s[i];
   }
   numerics::cumulative_trapezoid(s, step, prefix_s_);
@@ -69,12 +68,31 @@ void DelayedResubmission::product_integrals(double t0, double length,
   const auto n = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::ceil(length / step)));
   const double h = length / static_cast<double>(n);
+  // Hot path of every (t0, t_inf) tuning objective: a Nelder-Mead fit
+  // calls this hundreds of times, each a sweep of ~length/step samples.
+  // Evaluate survival by an indexed lerp over the tabulated F̃ grid
+  // captured at construction instead of two virtual survival_at() calls
+  // per sample. The arithmetic (t/step, same lerp form, then 1 - F̃) is
+  // kept identical to DiscretizedLatencyModel::ftilde, so results are
+  // bit-for-bit what the virtual path produced; u increases monotonically,
+  // making the grid accesses a cache-friendly forward scan.
+  const double* fg = fgrid_.data();
+  const auto last_index = fgrid_.size() - 1;
+  const double last = static_cast<double>(last_index);
+  const auto surv = [&](double t) {
+    if (t <= 0.0) return 1.0;
+    const double s = t / step;
+    if (s >= last) return 1.0 - fg[last_index];
+    const auto i = static_cast<std::size_t>(s);
+    const double frac = s - static_cast<double>(i);
+    return 1.0 - (fg[i] + frac * (fg[i + 1] - fg[i]));
+  };
   numerics::KahanAccumulator acc_plain, acc_weighted;
-  double prev_g = model_.survival_at(t0) * model_.survival_at(0.0);
+  double prev_g = surv(t0) * surv(0.0);
   double prev_u = 0.0;
   for (std::size_t i = 1; i <= n; ++i) {
     const double u = static_cast<double>(i) * h;
-    const double g = model_.survival_at(u + t0) * model_.survival_at(u);
+    const double g = surv(u + t0) * surv(u);
     acc_plain.add(0.5 * h * (prev_g + g));
     acc_weighted.add(0.5 * h * (prev_u * prev_g + u * g));
     prev_g = g;

@@ -29,6 +29,9 @@
 //   paper evaluates N∥ at l = E_J (parallel_jobs()); the distribution-
 //   averaged E[N∥(J)] is provided as expected_parallel_jobs().
 
+#include <span>
+#include <vector>
+
 #include "core/strategy.hpp"
 #include "model/discretized.hpp"
 
@@ -107,6 +110,10 @@ class DelayedResubmission {
   [[nodiscard]] DelayedOptimum pack_optimum(double t0, double t_inf) const;
 
   const model::DiscretizedLatencyModel& model_;
+  /// The model's tabulated F̃ grid, captured once so product_integrals —
+  /// the tuning-objective hot path — sweeps it by index without virtual
+  /// ftilde() dispatch (bit-identical arithmetic; see the .cpp).
+  std::span<const double> fgrid_;
   std::vector<double> prefix_s_;   ///< ∫ (1 - F̃)
   std::vector<double> prefix_us_;  ///< ∫ u (1 - F̃(u)) du
 };

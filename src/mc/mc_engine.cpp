@@ -23,11 +23,13 @@ struct RunOutcome {
   double submissions = 0.0;
 };
 
-// Worker threads write adjacent BlockSums concurrently; without padding,
-// neighbours in the std::vector share a cache line and every add() ping-pongs
-// it between cores. GCC flags any use of the constant as tuning-dependent
-// (-Winterference-size); that is fine here — padding is an optimization, not
-// ABI, so pin the build-time value.
+// Each block accumulates into a worker-local BlockSums on the worker's
+// stack and writes the finished block back to the shared vector exactly
+// once, so the per-replication adds never touch shared cache lines. The
+// alignment keeps even those single write-backs from false-sharing with a
+// neighbouring block on another core. GCC flags any use of the constant as
+// tuning-dependent (-Winterference-size); that is fine here — padding is an
+// optimization, not ABI, so pin the build-time value.
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Winterference-size"
@@ -74,9 +76,14 @@ McResult run_blocks(const McOptions& options, RunFn&& run_one) {
             static_cast<std::size_t>(block) * kBlockSize;
         const std::size_t end =
             std::min(begin + kBlockSize, options.replications);
+        // Worker-local accumulation: identical add order to writing the
+        // shared slot directly, so results stay bit-identical; only the
+        // memory traffic changes (one write-back per block).
+        BlockSums local;
         for (std::size_t i = begin; i < end; ++i) {
-          sums[static_cast<std::size_t>(block)].add(run_one(rng));
+          local.add(run_one(rng));
         }
+        sums[static_cast<std::size_t>(block)] = local;
       },
       options.pool);
 

@@ -9,15 +9,7 @@ namespace gridsub::numerics {
 
 double trapezoid(const std::function<double(double)>& f, double a, double b,
                  std::size_t n) {
-  if (n < 1) throw std::invalid_argument("trapezoid: n must be >= 1");
-  if (b < a) throw std::invalid_argument("trapezoid: requires b >= a");
-  if (a == b) return 0.0;
-  const double h = (b - a) / static_cast<double>(n);
-  KahanAccumulator acc(0.5 * (f(a) + f(b)));
-  for (std::size_t i = 1; i < n; ++i) {
-    acc.add(f(a + static_cast<double>(i) * h));
-  }
-  return acc.value() * h;
+  return detail::trapezoid_impl(f, a, b, n);
 }
 
 double trapezoid_tabulated(std::span<const double> y, double dx) {
@@ -34,54 +26,12 @@ double trapezoid_tabulated(std::span<const double> y, double dx) {
 
 double simpson(const std::function<double(double)>& f, double a, double b,
                std::size_t n) {
-  if (n < 2) n = 2;
-  if (n % 2 != 0) ++n;
-  if (b < a) throw std::invalid_argument("simpson: requires b >= a");
-  if (a == b) return 0.0;
-  const double h = (b - a) / static_cast<double>(n);
-  KahanAccumulator acc(f(a) + f(b));
-  for (std::size_t i = 1; i < n; ++i) {
-    const double x = a + static_cast<double>(i) * h;
-    acc.add((i % 2 == 1 ? 4.0 : 2.0) * f(x));
-  }
-  return acc.value() * h / 3.0;
+  return detail::simpson_impl(f, a, b, n);
 }
-
-namespace {
-
-double adaptive_simpson_impl(const std::function<double(double)>& f, double a,
-                             double b, double fa, double fm, double fb,
-                             double whole, double tol, int depth) {
-  const double m = 0.5 * (a + b);
-  const double lm = 0.5 * (a + m);
-  const double rm = 0.5 * (m + b);
-  const double flm = f(lm);
-  const double frm = f(rm);
-  const double h = b - a;
-  const double left = (h / 12.0) * (fa + 4.0 * flm + fm);
-  const double right = (h / 12.0) * (fm + 4.0 * frm + fb);
-  const double delta = left + right - whole;
-  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
-    return left + right + delta / 15.0;
-  }
-  return adaptive_simpson_impl(f, a, m, fa, flm, fm, left, 0.5 * tol,
-                               depth - 1) +
-         adaptive_simpson_impl(f, m, b, fm, frm, fb, right, 0.5 * tol,
-                               depth - 1);
-}
-
-}  // namespace
 
 double adaptive_simpson(const std::function<double(double)>& f, double a,
                         double b, double tol, int max_depth) {
-  if (b < a) throw std::invalid_argument("adaptive_simpson: requires b >= a");
-  if (a == b) return 0.0;
-  const double m = 0.5 * (a + b);
-  const double fa = f(a);
-  const double fm = f(m);
-  const double fb = f(b);
-  const double whole = ((b - a) / 6.0) * (fa + 4.0 * fm + fb);
-  return adaptive_simpson_impl(f, a, b, fa, fm, fb, whole, tol, max_depth);
+  return detail::adaptive_simpson_impl(f, a, b, tol, max_depth);
 }
 
 std::vector<double> cumulative_trapezoid(std::span<const double> y,

@@ -5,6 +5,15 @@
 
 namespace gridsub::sim {
 
+namespace {
+
+constexpr ComputingElement::JobHandle make_handle(std::uint32_t index,
+                                                  std::uint32_t generation) {
+  return (static_cast<ComputingElement::JobHandle>(generation) << 32) | index;
+}
+
+}  // namespace
+
 ComputingElement::ComputingElement(Simulator& sim, std::string name,
                                    int slots, double fault_prob,
                                    stats::Rng rng, GridMetrics* metrics)
@@ -25,78 +34,190 @@ double ComputingElement::load() const {
          static_cast<double>(slots_);
 }
 
+std::uint32_t ComputingElement::acquire_slot() {
+  if (free_head_ != kNilIndex) {
+    const std::uint32_t index = free_head_;
+    free_head_ = jobs_[index].next;
+    jobs_[index].next = kNilIndex;
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(jobs_.size());
+  jobs_.emplace_back();
+  return index;
+}
+
+void ComputingElement::release_slot(std::uint32_t index) {
+  JobSlot& slot = jobs_[index];
+  slot.on_start = nullptr;
+  slot.on_complete = nullptr;
+  slot.completion_event = 0;
+  ++slot.generation;  // stale handles now fail the generation check
+  slot.state = JobSlot::State::kFree;
+  slot.prev = kNilIndex;
+  slot.ghosts_before = 0;
+  slot.next = free_head_;
+  free_head_ = index;
+}
+
+/// Unlinks a queued slot from its lane, leaving a counted ghost at its
+/// position so queue_length() keeps reporting it until the lane would have
+/// drained past it (the historical lazy-removal semantics).
+void ComputingElement::lane_unlink_to_ghost(LaneList& list,
+                                            std::uint32_t index) {
+  JobSlot& slot = jobs_[index];
+  const std::uint32_t ghosts = slot.ghosts_before + 1;
+  if (slot.next != kNilIndex) {
+    jobs_[slot.next].ghosts_before += ghosts;
+    jobs_[slot.next].prev = slot.prev;
+  } else {
+    list.ghosts_tail += ghosts;
+    list.tail = slot.prev;
+  }
+  if (slot.prev != kNilIndex) {
+    jobs_[slot.prev].next = slot.next;
+  } else {
+    list.head = slot.next;
+  }
+  // list.count is intentionally NOT decremented: the ghost still counts.
+}
+
 ComputingElement::JobHandle ComputingElement::submit(
     double runtime, StartCallback on_start, CompleteCallback on_complete,
     Lane lane) {
   if (runtime < 0.0) {
     throw std::invalid_argument("ComputingElement::submit: runtime < 0");
   }
-  const JobHandle handle = next_handle_++;
   if (metrics_) ++metrics_->jobs_dispatched;
   if (!available_) {
     // Gateway down: the job vanishes in the submission chain.
     if (metrics_) ++metrics_->jobs_faulted;
-    return handle;
+    return make_handle(kNilIndex, fault_serial_++);
   }
   if (fault_prob_ > 0.0 && rng_.bernoulli(fault_prob_)) {
-    // Silently lost: the handle is never queued; cancel() on it is a no-op
-    // returning false, and the client's timeout is the only detector.
+    // Silently lost: the handle never maps to a slot; cancel() on it is a
+    // no-op returning false, and the client's timeout is the only detector.
     if (metrics_) ++metrics_->jobs_faulted;
-    return handle;
+    return make_handle(kNilIndex, fault_serial_++);
   }
-  pending_.emplace(
-      handle, PendingJob{runtime, sim_.now(), std::move(on_start),
-                         std::move(on_complete)});
-  (lane == Lane::kLocal ? queue_ : remote_queue_).push_back(handle);
+  const std::uint32_t index = acquire_slot();
+  JobSlot& slot = jobs_[index];
+  slot.runtime = runtime;
+  slot.enqueue_time = sim_.now();
+  slot.on_start = std::move(on_start);
+  slot.on_complete = std::move(on_complete);
+  slot.state = JobSlot::State::kQueued;
+  slot.lane = lane;
+  const JobHandle handle = make_handle(index, slot.generation);
+  LaneList& list = (lane == Lane::kLocal) ? local_ : remote_;
+  if (list.tail == kNilIndex) {
+    list.head = index;
+  } else {
+    jobs_[list.tail].next = index;
+  }
+  slot.prev = list.tail;
+  list.tail = index;
+  // Ghosts behind the previous tail now sit ahead of this entry.
+  slot.ghosts_before = static_cast<std::uint32_t>(list.ghosts_tail);
+  list.ghosts_tail = 0;
+  ++list.count;
   try_start_next();
   return handle;
 }
 
 bool ComputingElement::cancel(JobHandle handle) {
-  if (auto it = pending_.find(handle); it != pending_.end()) {
-    pending_.erase(it);
-    // Lazy removal from the FIFO: skip dead handles in try_start_next().
-    return true;
-  }
-  if (auto it = running_jobs_.find(handle); it != running_jobs_.end()) {
-    sim_.cancel(it->second);
-    running_jobs_.erase(it);
-    --running_;
-    // Slot freed: pull the next queued job.
-    try_start_next();
-    return true;
+  const auto index = static_cast<std::uint32_t>(handle & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(handle >> 32);
+  if (index >= jobs_.size()) return false;  // faulted or malformed handle
+  JobSlot& slot = jobs_[index];
+  if (slot.generation != generation) return false;  // already finished
+  switch (slot.state) {
+    case JobSlot::State::kQueued:
+      // O(1) unlink; the slot is reclaimed immediately and a counted
+      // ghost keeps its place in queue_length() until the lane would
+      // have drained past it (old deque semantics, byte-identical load).
+      lane_unlink_to_ghost(slot.lane == Lane::kLocal ? local_ : remote_,
+                           index);
+      release_slot(index);
+      return true;
+    case JobSlot::State::kRunning:
+      sim_.cancel(slot.completion_event);
+      release_slot(index);
+      --running_;
+      // Slot freed: pull the next queued job.
+      try_start_next();
+      return true;
+    case JobSlot::State::kFree:
+    case JobSlot::State::kStarting:
+      return false;
   }
   return false;
 }
 
 void ComputingElement::try_start_next() {
-  while (running_ < slots_ && (!queue_.empty() || !remote_queue_.empty())) {
+  while (running_ < slots_ && (local_.count > 0 || remote_.count > 0)) {
     // Strict lane priority: remote copies only start when no local job
-    // waits (Subramani's dual-queue rule).
-    auto& lane = !queue_.empty() ? queue_ : remote_queue_;
-    const JobHandle handle = lane.front();
-    lane.pop_front();
-    auto it = pending_.find(handle);
-    if (it == pending_.end()) continue;  // canceled while queued
-    PendingJob job = std::move(it->second);
-    pending_.erase(it);
+    // waits (Subramani's dual-queue rule). A lane holding only ghosts
+    // still takes priority until they drain — the old deque popped its
+    // dead entries one by one here; bulk subtraction is observably equal
+    // because nothing can inspect the queue between those pops.
+    LaneList& list = (local_.count > 0) ? local_ : remote_;
+    if (list.head == kNilIndex) {
+      list.count -= list.ghosts_tail;  // lane is all ghosts: drain them
+      list.ghosts_tail = 0;
+      continue;
+    }
+    const std::uint32_t index = list.head;
+    {
+      JobSlot& head = jobs_[index];
+      list.count -= head.ghosts_before;  // drain ghosts ahead of the head
+      head.ghosts_before = 0;
+      list.head = head.next;
+      if (list.head == kNilIndex) {
+        list.tail = kNilIndex;
+      } else {
+        jobs_[list.head].prev = kNilIndex;
+      }
+      head.prev = kNilIndex;
+      head.next = kNilIndex;
+    }
+    --list.count;
+    // Move the job out of the slot before on_start runs: the callback may
+    // re-enter submit()/cancel() (growing jobs_), so no references may be
+    // held across it. While kStarting, the handle reports false to
+    // cancel(), as it did between the pending- and running-map eras.
+    JobSlot& slot = jobs_[index];
+    const std::uint32_t generation = slot.generation;
+    const double runtime = slot.runtime;
+    StartCallback on_start = std::move(slot.on_start);
+    CompleteCallback on_complete = std::move(slot.on_complete);
+    slot.on_start = nullptr;
+    slot.state = JobSlot::State::kStarting;
     ++running_;
     if (metrics_) {
       ++metrics_->jobs_started;
-      metrics_->total_queue_wait += sim_.now() - job.enqueue_time;
+      metrics_->total_queue_wait += sim_.now() - slot.enqueue_time;
     }
-    if (job.on_start) job.on_start();
+    if (on_start) on_start();
     const EventId done = sim_.schedule_in(
-        job.runtime, [this, handle, cb = std::move(job.on_complete)]() {
-          finish_job(handle);
+        runtime,
+        [this, index, generation, cb = std::move(on_complete)]() mutable {
+          finish_job(index, generation);
           if (cb) cb();
         });
-    running_jobs_.emplace(handle, done);
+    JobSlot& started = jobs_[index];  // re-read: on_start may grow jobs_
+    started.completion_event = done;
+    started.state = JobSlot::State::kRunning;
   }
 }
 
-void ComputingElement::finish_job(JobHandle handle) {
-  if (running_jobs_.erase(handle) == 0) return;  // already canceled
+void ComputingElement::finish_job(std::uint32_t index,
+                                  std::uint32_t generation) {
+  JobSlot& slot = jobs_[index];
+  if (slot.state != JobSlot::State::kRunning ||
+      slot.generation != generation) {
+    return;  // already canceled
+  }
+  release_slot(index);
   --running_;
   if (metrics_) ++metrics_->jobs_completed;
   try_start_next();

@@ -10,13 +10,28 @@
 // et al.'s K-Dual scheme, paper §2): the local lane has strict priority
 // over the remote lane, so redundant copies shipped to foreign sites only
 // run when no local work waits. Regular traffic uses the local lane.
+//
+// Bookkeeping is a generation-checked slot map (same scheme as
+// sim::EventQueue): a JobHandle is (generation << 32) | slot index and the
+// FIFO lanes are intrusive doubly-linked lists threaded through the slots,
+// so submit/cancel never hashes and never allocates beyond amortized
+// slot-vector growth. Cancelling a queued job unlinks and reclaims its
+// slot in O(1), but leaves a counted "ghost" at its queue position: the
+// historical deque implementation only dropped canceled entries when they
+// reached the queue front with a worker free, so queue_length() — and the
+// WMS load ranking built on it — must keep counting them until then for
+// whole-grid runs to stay byte-identical. Ghosts are just integers (a
+// per-entry predecessor count plus a lane tail count), so a saturated CE
+// accumulating canceled jobs costs words, not slots. Handles for jobs
+// dropped at arrival (gateway down, silent fault) carry an out-of-range
+// slot index, so they can never resolve; cancel() on them reports false,
+// which is exactly the real infrastructure's behaviour (nothing to cancel
+// — the job vanished in the submission chain).
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -52,7 +67,9 @@ class ComputingElement {
                    CompleteCallback on_complete = nullptr,
                    Lane lane = Lane::kLocal);
 
-  /// Cancels a queued or running job. Returns false if unknown/finished.
+  /// Cancels a queued or running job. Returns false if unknown/finished —
+  /// including stale handles whose slot has been recycled (generation
+  /// check) and handles of silently-faulted submissions.
   bool cancel(JobHandle handle);
 
   /// Site availability (gateway up/down). While down, every submission is
@@ -67,24 +84,55 @@ class ComputingElement {
   [[nodiscard]] int slots() const { return slots_; }
   [[nodiscard]] int running() const { return running_; }
   [[nodiscard]] std::size_t queue_length() const {
-    return queue_.size() + remote_queue_.size();
+    return local_.count + remote_.count;
   }
   [[nodiscard]] std::size_t queue_length(Lane lane) const {
-    return lane == Lane::kLocal ? queue_.size() : remote_queue_.size();
+    return lane == Lane::kLocal ? local_.count : remote_.count;
   }
   /// Load metric used by the WMS ranking: (queued + running) / slots.
   [[nodiscard]] double load() const;
 
  private:
-  struct PendingJob {
-    double runtime;
-    SimTime enqueue_time;
+  static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
+
+  /// One job slot; freed slots are chained through `next` and their
+  /// generation is bumped so outstanding handles go stale.
+  struct JobSlot {
+    double runtime = 0.0;
+    SimTime enqueue_time = 0.0;
     StartCallback on_start;
     CompleteCallback on_complete;
+    EventId completion_event = 0;  ///< valid while running
+    std::uint32_t generation = 1;
+    std::uint32_t prev = kNilIndex;  ///< lane FIFO back-link while queued
+    std::uint32_t next = kNilIndex;  ///< lane FIFO link / free-list link
+    /// Canceled-but-undrained entries immediately ahead of this one in
+    /// the lane (see the ghost-accounting note above).
+    std::uint32_t ghosts_before = 0;
+    enum class State : std::uint8_t {
+      kFree,
+      kQueued,
+      kStarting,  ///< on_start in flight (handle momentarily unknown)
+      kRunning
+    } state = State::kFree;
+    Lane lane = Lane::kLocal;  ///< valid while queued
   };
 
+  /// Intrusive FIFO lane over the slot vector. `count` includes ghost
+  /// entries not yet drained, matching the historical deque semantics
+  /// that queue_length()/load() expose to the WMS.
+  struct LaneList {
+    std::uint32_t head = kNilIndex;
+    std::uint32_t tail = kNilIndex;
+    std::size_t ghosts_tail = 0;  ///< ghosts behind the last live entry
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void lane_unlink_to_ghost(LaneList& list, std::uint32_t index);
   void try_start_next();
-  void finish_job(JobHandle handle);
+  void finish_job(std::uint32_t index, std::uint32_t generation);
 
   Simulator& sim_;
   std::string name_;
@@ -93,13 +141,14 @@ class ComputingElement {
   stats::Rng rng_;
   GridMetrics* metrics_;
 
-  std::deque<JobHandle> queue_;         // local lane, FIFO
-  std::deque<JobHandle> remote_queue_;  // remote lane, FIFO, lower priority
-  std::unordered_map<JobHandle, PendingJob> pending_;
-  std::unordered_map<JobHandle, EventId> running_jobs_;  // completion events
+  std::vector<JobSlot> jobs_;
+  std::uint32_t free_head_ = kNilIndex;
+  LaneList local_;   // local lane, FIFO
+  LaneList remote_;  // remote lane, FIFO, lower priority
+  /// Distinct never-resolving handles for silently dropped submissions.
+  std::uint32_t fault_serial_ = 1;
   int running_ = 0;
   bool available_ = true;
-  JobHandle next_handle_ = 1;
 };
 
 }  // namespace gridsub::sim

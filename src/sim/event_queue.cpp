@@ -11,42 +11,75 @@ namespace {
 /// compaction keeps the common small-queue path branch-cheap.
 constexpr std::size_t kCompactionFloor = 64;
 
+constexpr EventId make_id(std::uint32_t index, std::uint32_t generation) {
+  return (static_cast<EventId>(generation) << 32) | index;
+}
+
 }  // namespace
 
-EventId EventQueue::push(SimTime time, std::function<void()> fn,
-                         bool daemon) {
-  const EventId id = next_id_++;
-  heap_.push_back({time, id});
+EventId EventQueue::push(SimTime time, SmallFn fn, bool daemon) {
+  if (!fn) {
+    // std::function used to defer this to a bad_function_call at fire
+    // time; failing at the call site is both louder and earlier.
+    throw std::invalid_argument("EventQueue::push: empty callback");
+  }
+  std::uint32_t index;
+  if (free_head_ != kNilIndex) {
+    index = free_head_;
+    Slot& s = slots_[index];
+    free_head_ = s.next_free;
+    s.next_free = kNilIndex;
+    s.fn = std::move(fn);
+    s.live = true;
+    s.daemon = daemon;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    Slot& s = slots_.emplace_back();
+    s.fn = std::move(fn);
+    s.live = true;
+    s.daemon = daemon;
+  }
+  const std::uint32_t generation = slots_[index].generation;
+  heap_.push_back({time, next_seq_++, index, generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  callbacks_.emplace(id, Callback{std::move(fn), daemon});
+  ++alive_;
   if (!daemon) ++live_count_;
-  return id;
+  return make_id(index, generation);
+}
+
+void EventQueue::release(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn = SmallFn{};  // drop any heap-held capture now, not at reuse
+  s.live = false;
+  ++s.generation;  // ids and heap entries naming the old tenant go stale
+  s.next_free = free_head_;
+  free_head_ = index;
+  --alive_;
+  if (!s.daemon) --live_count_;
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  if (!it->second.daemon) --live_count_;
-  callbacks_.erase(it);  // heap entry is dropped lazily...
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return false;
+  const Slot& s = slots_[index];
+  if (!s.live || s.generation != generation) return false;
+  release(index);  // heap entry is dropped lazily...
   // ...unless dead entries outnumber live ones: then filter the heap in
   // place, which bounds it at O(live) under cancel/reschedule storms.
-  if (heap_.size() > kCompactionFloor &&
-      heap_.size() > 2 * callbacks_.size()) {
+  if (heap_.size() > kCompactionFloor && heap_.size() > 2 * alive_) {
     compact();
   }
   return true;
 }
 
 void EventQueue::compact() {
-  std::erase_if(heap_, [this](const Entry& e) {
-    return callbacks_.find(e.id) == callbacks_.end();
-  });
+  std::erase_if(heap_, [this](const Entry& e) { return entry_dead(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::drop_canceled() const {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+  while (!heap_.empty() && entry_dead(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -64,10 +97,9 @@ EventQueue::Fired EventQueue::pop() {
   const Entry top = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   heap_.pop_back();
-  auto it = callbacks_.find(top.id);
-  Fired fired{top.time, top.id, std::move(it->second.fn)};
-  if (!it->second.daemon) --live_count_;
-  callbacks_.erase(it);
+  Fired fired{top.time, make_id(top.slot, top.generation),
+              std::move(slots_[top.slot].fn)};
+  release(top.slot);
   return fired;
 }
 

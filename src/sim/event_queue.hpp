@@ -14,35 +14,48 @@
 // *daemon* events are housekeeping (e.g. the WMS refreshing its stale load
 // snapshot every two minutes) and do not: once only daemon events remain,
 // the simulation is considered finished.
+//
+// Storage is a generation-checked slot map, not a hash map: an EventId is
+// (generation << 32) | slot index, so push is a free-list pop + vector
+// write and cancel is a bounds check + generation compare — no hashing,
+// and (with SmallFn's inline buffer) no heap allocation for the common
+// events. Freeing a slot bumps its generation, so a stale id whose slot
+// was recycled fails the generation check instead of cancelling a
+// stranger's event. Pop order is unchanged from the hash-map era: the heap
+// breaks time ties by a monotone push sequence number, which is exactly
+// the old monotone-id FIFO rule, so simulations replay byte-identically.
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/small_fn.hpp"
 
 namespace gridsub::sim {
 
 /// Simulation clock time (seconds).
 using SimTime = double;
 
-/// Handle to a scheduled event.
+/// Handle to a scheduled event: (slot generation << 32) | slot index.
+/// Generations start at 1, so a valid id is never 0 and callers may keep
+/// using 0 as an "unset" sentinel.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
   /// Schedules `fn` at `time`; returns a cancellation handle. Daemon
   /// events do not count towards liveness (see live_size()).
-  EventId push(SimTime time, std::function<void()> fn, bool daemon = false);
+  EventId push(SimTime time, SmallFn fn, bool daemon = false);
 
   /// Cancels a pending event. Returns false if it already ran or was
-  /// canceled.
+  /// canceled — including when the event's slot has since been recycled
+  /// for a newer event (the generation check rejects the stale id).
   bool cancel(EventId id);
 
   /// True if no events (of either kind) remain.
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] bool empty() const { return alive_ == 0; }
 
   /// Number of live (non-canceled, not-yet-run) events, daemons included.
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t size() const { return alive_; }
 
   /// Number of live non-daemon events. The simulation is "done" when this
   /// reaches zero, even if periodic daemon events are still scheduled.
@@ -60,35 +73,53 @@ class EventQueue {
   struct Fired {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    SmallFn fn;
   };
   Fired pop();
 
  private:
-  struct Callback {
-    std::function<void()> fn;
-    bool daemon;
+  static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
+
+  /// One event slot. Freed slots are chained through `next_free`; the
+  /// generation is bumped on release so ids referring to the old tenant
+  /// go stale.
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilIndex;
+    bool live = false;
+    bool daemon = false;
   };
   struct Entry {
     SimTime time;
-    EventId id;
+    std::uint64_t seq;  ///< monotone push counter: FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };
 
+  [[nodiscard]] bool entry_dead(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return !s.live || s.generation != e.generation;
+  }
+  /// Returns the slot to the free list and invalidates outstanding ids.
+  void release(std::uint32_t index);
   void drop_canceled() const;
   void compact();
 
   /// Min-heap (std::push_heap/pop_heap with Later) over a plain vector so
   /// compaction can filter dead entries in place in O(n).
   mutable std::vector<Entry> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  EventId next_id_ = 1;
-  std::size_t live_count_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilIndex;
+  std::uint64_t next_seq_ = 1;
+  std::size_t alive_ = 0;       ///< occupied slots (daemons included)
+  std::size_t live_count_ = 0;  ///< occupied non-daemon slots
 };
 
 }  // namespace gridsub::sim

@@ -4,14 +4,14 @@
 
 namespace gridsub::sim {
 
-EventId Simulator::schedule_at(SimTime time, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime time, SmallFn fn) {
   if (time < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
   return queue_.push(time, std::move(fn));
 }
 
-EventId Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+EventId Simulator::schedule_in(SimTime delay, SmallFn fn) {
   if (delay < 0.0) {
     throw std::invalid_argument("Simulator::schedule_in: negative delay");
   }
@@ -19,7 +19,7 @@ EventId Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
 }
 
 EventId Simulator::schedule_daemon_at(SimTime time,
-                                      std::function<void()> fn) {
+                                      SmallFn fn) {
   if (time < now_) {
     throw std::invalid_argument(
         "Simulator::schedule_daemon_at: time in the past");
@@ -28,7 +28,7 @@ EventId Simulator::schedule_daemon_at(SimTime time,
 }
 
 EventId Simulator::schedule_daemon_in(SimTime delay,
-                                      std::function<void()> fn) {
+                                      SmallFn fn) {
   if (delay < 0.0) {
     throw std::invalid_argument(
         "Simulator::schedule_daemon_in: negative delay");

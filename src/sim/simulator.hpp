@@ -11,8 +11,6 @@
 // event but do not keep run() alive, so a simulation terminates once all
 // real work has drained.
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 
 namespace gridsub::sim {
@@ -22,15 +20,15 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules at an absolute time (>= now).
-  EventId schedule_at(SimTime time, std::function<void()> fn);
+  EventId schedule_at(SimTime time, SmallFn fn);
 
   /// Schedules `delay` seconds from now (delay >= 0).
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_in(SimTime delay, SmallFn fn);
 
   /// Daemon variants: the event fires normally but does not keep run()
   /// alive (use for self-rescheduling housekeeping).
-  EventId schedule_daemon_at(SimTime time, std::function<void()> fn);
-  EventId schedule_daemon_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_daemon_at(SimTime time, SmallFn fn);
+  EventId schedule_daemon_in(SimTime delay, SmallFn fn);
 
   /// Cancels a pending event; false if it already fired or was canceled.
   bool cancel(EventId id);

@@ -102,6 +102,77 @@ TEST(ComputingElement, QueueWaitIsAccounted) {
   EXPECT_DOUBLE_EQ(metrics.total_queue_wait, 100.0);
 }
 
+TEST(ComputingElement, StaleHandleOnRecycledSlotReturnsFalse) {
+  // Handles are (generation, slot index); after a job finishes or is
+  // canceled its slot is recycled, and the old handle must go stale
+  // instead of resolving to the new tenant.
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  const auto a = ce.submit(10.0, nullptr);
+  sim.run();                    // a completed; slot free
+  EXPECT_FALSE(ce.cancel(a));   // finished long ago
+  int started = 0;
+  ce.submit(1e6, nullptr);      // occupy the worker
+  const auto b = ce.submit(10.0, [&] { ++started; });  // reuses a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(ce.cancel(a));   // stale: must NOT cancel b
+  EXPECT_TRUE(ce.cancel(b));
+  EXPECT_FALSE(ce.cancel(b));   // double-cancel reports false
+}
+
+TEST(ComputingElement, FaultedHandleNeverResolves) {
+  // A silently-faulted submission returns a handle that maps to no slot:
+  // cancel() must report false now and forever, even after many real
+  // submissions recycle storage.
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 1.0, stats::Rng(1));  // always faults
+  const auto ghost = ce.submit(10.0, nullptr);
+  EXPECT_FALSE(ce.cancel(ghost));
+  Simulator sim2;
+  ComputingElement ce2(sim2, "ce2", 1, 0.0, stats::Rng(1));
+  for (int i = 0; i < 100; ++i) ce2.cancel(ce2.submit(1.0, nullptr));
+  EXPECT_FALSE(ce2.cancel(ghost));
+}
+
+TEST(ComputingElement, CanceledQueuedJobStillCountsUntilDrain) {
+  // Historical (deque-era) semantics the WMS load ranking depends on: a
+  // job canceled while queued keeps inflating queue_length() until the
+  // queue would have drained past it — here, never, because the worker
+  // is pinned — and drains as soon as a slot frees.
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  const auto pin = ce.submit(1000.0, nullptr);  // running
+  const auto h1 = ce.submit(10.0, nullptr);
+  const auto h2 = ce.submit(10.0, nullptr);
+  EXPECT_EQ(ce.queue_length(), 2u);
+  EXPECT_TRUE(ce.cancel(h1));
+  EXPECT_TRUE(ce.cancel(h2));
+  EXPECT_EQ(ce.queue_length(), 2u);  // ghosts still counted
+  EXPECT_DOUBLE_EQ(ce.load(), 3.0);
+  EXPECT_TRUE(ce.cancel(pin));  // frees the worker: lane drains the ghosts
+  EXPECT_EQ(ce.queue_length(), 0u);
+  EXPECT_DOUBLE_EQ(ce.load(), 0.0);
+}
+
+TEST(ComputingElement, GhostDrainPreservesFifoAndInterleaving) {
+  // Cancel every other queued job under a pinned worker, then free it:
+  // survivors must start in submission order and the ghosts must vanish
+  // from queue_length() exactly when the lane drains.
+  Simulator sim;
+  ComputingElement ce(sim, "ce", 1, 0.0, stats::Rng(1));
+  ce.submit(50.0, nullptr);  // running until t=50
+  std::vector<int> order;
+  std::vector<ComputingElement::JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(ce.submit(1.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 8; i += 2) EXPECT_TRUE(ce.cancel(handles[i]));
+  EXPECT_EQ(ce.queue_length(), 8u);  // 4 live + 4 ghosts
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7}));
+  EXPECT_EQ(ce.queue_length(), 0u);
+}
+
 TEST(ComputingElement, RejectsBadConstruction) {
   Simulator sim;
   EXPECT_THROW(ComputingElement(sim, "x", 0, 0.0, stats::Rng(1)),

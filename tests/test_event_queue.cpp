@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace gridsub::sim {
@@ -64,6 +66,15 @@ TEST(EventQueue, PopOnEmptyThrows) {
   EXPECT_THROW((void)q.next_time(), std::logic_error);
 }
 
+TEST(EventQueue, PushEmptyCallbackThrows) {
+  // std::function deferred this mistake to a bad_function_call when the
+  // event fired; the slot map rejects it at the call site instead.
+  EventQueue q;
+  EXPECT_THROW(q.push(1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(q.push(1.0, SmallFn{}), std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, CancelHeavyLoopKeepsHeapBounded) {
   // A timeout strategy cancels and reschedules constantly; before
   // compaction the heap kept every canceled entry until popped, growing
@@ -96,6 +107,92 @@ TEST(EventQueue, OrderingSurvivesCompaction) {
   for (std::size_t i = 1; i < order.size(); ++i) {
     EXPECT_GT(order[i - 1], order[i]);  // later-pushed fire earlier
   }
+}
+
+TEST(EventQueue, StaleCancelOnRecycledSlotReturnsFalse) {
+  // The slot map recycles storage: after cancel(a), a new push may land in
+  // a's slot. The generation check must reject the stale id instead of
+  // cancelling the new tenant.
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  int fired = 0;
+  const EventId b = q.push(2.0, [&] { ++fired; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale id, possibly recycled slot
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);  // b survived the stale cancel
+}
+
+TEST(EventQueue, StaleCancelAfterPopReturnsFalse) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.pop();  // a ran; its slot is free for reuse
+  int fired = 0;
+  const EventId b = q.push(2.0, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, IdsStayUniqueUnderSlotReuse) {
+  // Heavy churn reuses a handful of slots; the (generation, index) ids
+  // must still never repeat — and never be 0, the callers' sentinel.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = q.push(1.0, [] {});
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+    q.cancel(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(EventQueue, HeapBoundHoldsWithLiveDaemonMix) {
+  // Cancel storm interleaved with live regular and daemon events: the
+  // queued() <= max(floor, 2 * size()) compaction bound must still hold.
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.push(1e9 + i, [] {});
+    q.push(60.0 * i, [] {}, /*daemon=*/true);
+  }
+  for (int i = 0; i < 50000; ++i) {
+    q.cancel(q.push(1.0 + i, [] {}));
+    const std::size_t bound = std::max<std::size_t>(64, 2 * q.size());
+    ASSERT_LE(q.queued(), bound);
+  }
+  EXPECT_EQ(q.size(), 20u);
+}
+
+TEST(EventQueue, InlineCallbackBufferCoversHotCaptures) {
+  // The no-allocation guarantee for the hot events only holds while the
+  // real capture sets fit SmallFn's inline buffer; pin it so a future
+  // capture-set growth fails loudly here instead of silently regressing.
+  struct HotCapture {
+    void* self;
+    std::uint64_t handle;
+    std::function<void()> stored;  // CE completion carries one of these
+    void operator()() const {}
+  };
+  static_assert(SmallFn::stores_inline<HotCapture>());
+
+  // Oversized captures must transparently fall back to the heap and still
+  // run (correctness never depends on the capture size).
+  struct BigCapture {
+    double padding[16];
+    int* counter;
+    void operator()() const { ++*counter; }
+  };
+  static_assert(!SmallFn::stores_inline<BigCapture>());
+  EventQueue q;
+  int fired = 0;
+  BigCapture big{};
+  big.counter = &fired;
+  q.push(1.0, big);
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {
