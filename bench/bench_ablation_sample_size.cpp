@@ -73,7 +73,7 @@ int main() {
   axes.replications = resamples;
   axes.root_seed = 0x5A11;
 
-  const auto result = bench::run_campaign(
+  const auto result = bench::run_campaign_streamed(
       axes, [&](const exp::CellContext& ctx) {
         stats::Rng rng(ctx.seed);
         const auto sub = resample(full_trace, sizes[ctx.scenario], rng);
@@ -92,15 +92,8 @@ int main() {
       });
   if (!result) return 0;  // shard mode: cells are on disk
 
-  // Max regret needs the per-cell values, not just the aggregates.
-  std::vector<double> max_ej(sizes.size(), 0.0), max_dc(sizes.size(), 0.0);
-  for (const auto& cell : result->cells()) {
-    auto& ej = max_ej[cell.context.scenario];
-    auto& dc = max_dc[cell.context.scenario];
-    ej = std::max(ej, cell.metrics[0].second);
-    dc = std::max(dc, cell.metrics[1].second);
-  }
-
+  // Max regret comes from the fold's running extrema — no per-cell
+  // storage, so the sweep aggregates in constant memory at any size.
   report::Table table({"n probes", "DKW eps (95%)", "E_J regret mean",
                        "E_J regret max", "dcost regret mean",
                        "dcost regret max"});
@@ -111,9 +104,9 @@ int main() {
         .cell(static_cast<long long>(sizes[sc]))
         .cell(dkw, 3)
         .percent(result->mean(sc, 0, "ej_regret"), 2)
-        .percent(max_ej[sc], 2)
+        .percent(result->max(sc, 0, "ej_regret"), 2)
         .percent(result->mean(sc, 0, "dcost_regret"), 2)
-        .percent(max_dc[sc], 2);
+        .percent(result->max(sc, 0, "dcost_regret"), 2);
   }
   table.print(std::cout);
   std::cout

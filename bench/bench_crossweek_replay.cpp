@@ -147,14 +147,12 @@ int main() {
 
   const std::vector<exp::ScenarioCase> weeks = make_weeks();
   const std::size_t n_weeks = weeks.size();
-  // The fit stage feeds `tuned` through a side channel, so it runs fully
-  // in-process (every shard process recomputes it — deterministic and
-  // cheap next to stage 3) and never touches the checkpoint machinery;
-  // only the terminal evaluation campaign checkpoints/shards.
-  const exp::CampaignRunner runner;
 
   // ---- Stage 1+2: per-week probe campaign -> F̃ fit -> tuned params ----
-  std::vector<TunedParams> tuned(n_weeks);
+  // The fit evaluator is pure in the cell context: every parameter the
+  // evaluation campaign needs travels in the stage metrics, so the stage
+  // checkpoints/resumes like any campaign and sibling shard processes
+  // load the published .stage file instead of re-probing 12 weeks.
   exp::CampaignAxes fit_axes;
   fit_axes.name = "crossweek_fit";
   fit_axes.scenario_axis = "week";
@@ -162,14 +160,37 @@ int main() {
   for (const auto& w : weeks) fit_axes.scenario_labels.push_back(w.label);
   fit_axes.strategy_labels = {"fit+tune"};
   fit_axes.root_seed = kRootSeed;
-  (void)runner.run(fit_axes, [&](const exp::CellContext& ctx) {
-    TunedParams& p = tuned[ctx.scenario];
-    p = fit_and_tune(weeks[ctx.scenario], ctx.seed);
-    return exp::CellMetrics{{"probes", p.probes}, {"rho", p.rho},
-                            {"t0", p.t0},         {"t_inf", p.t_inf},
-                            {"t_inf_single", p.t_inf_single},
-                            {"b", static_cast<double>(p.b)}};
-  });
+  // The stage identity names the inputs the fit depends on: the week
+  // roster plus the probe/tuning constants. Changing any of them retires
+  // a previously published stage instead of silently reusing it.
+  std::string fit_identity = "weeks=";
+  for (const auto& w : weeks) {
+    fit_identity += w.label + ":" + w.workload->name() + ",";
+  }
+  fit_identity += ";base_rate=" + std::to_string(kBaseRate) +
+                  ";budget=" + std::to_string(kMultipleBudget);
+  const exp::StageResult fit = bench::run_stage_campaign(
+      fit_axes,
+      [&](const exp::CellContext& ctx) {
+        const TunedParams p = fit_and_tune(weeks[ctx.scenario], ctx.seed);
+        return exp::CellMetrics{{"probes", p.probes}, {"rho", p.rho},
+                                {"t0", p.t0},         {"t_inf", p.t_inf},
+                                {"t_inf_single", p.t_inf_single},
+                                {"b", static_cast<double>(p.b)},
+                                {"t_inf_multiple", p.t_inf_multiple}};
+      },
+      fit_identity);
+  std::vector<TunedParams> tuned(n_weeks);
+  for (const exp::CellResult& cell : fit.result.cells()) {
+    TunedParams& p = tuned[cell.context.scenario];
+    p.t0 = bench::cell_metric(cell, "t0");
+    p.t_inf = bench::cell_metric(cell, "t_inf");
+    p.t_inf_single = bench::cell_metric(cell, "t_inf_single");
+    p.b = static_cast<int>(bench::cell_metric(cell, "b"));
+    p.t_inf_multiple = bench::cell_metric(cell, "t_inf_multiple");
+    p.rho = bench::cell_metric(cell, "rho");
+    p.probes = bench::cell_metric(cell, "probes");
+  }
 
   report::Table tune_table({"week", "shape", "rate (1/s)", "probes", "rho",
                             "tuned t0", "tuned t_inf", "tuned b"});
@@ -208,7 +229,7 @@ int main() {
   clients.warm_up = kWarmUp;
 
   const auto result =
-      bench::run_campaign(eval_axes, [&](const exp::CellContext& ctx) {
+      bench::run_campaign_streamed(eval_axes, [&](const exp::CellContext& ctx) {
         const std::size_t prev = (ctx.scenario + n_weeks - 1) % n_weeks;
         sim::StrategySpec spec;
         switch (ctx.strategy) {

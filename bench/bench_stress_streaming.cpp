@@ -1,0 +1,117 @@
+// Memory stress for the streaming campaign path: the same analytic
+// campaign at 1x and then 10x the cell count, both streamed through a
+// FoldSink, with the process peak RSS sampled after each. Buffer-then-
+// fold would grow peak memory linearly with the cell count; fold-as-you-
+// go keeps it at O(reorder window + groups), so the 10x run should leave
+// the peak essentially where the 1x run put it. ru_maxrss is monotone,
+// which is exactly what makes the comparison honest: any growth the big
+// run causes is visible, and none should be.
+//
+// scripts/run_benches.py additionally records this process's peak RSS
+// into the BENCH_*.json payload, so the flat-memory claim is tracked
+// across revisions like any other bench metric.
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/fold.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace gridsub;
+
+/// Peak resident set of this process so far, in KiB (Linux ru_maxrss).
+long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+/// A cheap analytic evaluator: enough arithmetic to produce plausible
+/// metric spreads, no allocation beyond the metrics vector itself.
+exp::CellMetrics analytic_cell(const exp::CellContext& ctx) {
+  const double x = static_cast<double>(ctx.seed % 100003) / 100003.0;
+  return {{"latency", 300.0 + 900.0 * x},
+          {"cost", 1.0 + 0.5 * std::sin(static_cast<double>(ctx.flat))},
+          {"subs", 1.0 + 3.0 * x * x}};
+}
+
+/// Streams one campaign of `scenarios` x 4 x `reps` cells through a
+/// FoldSink and returns the peak RSS (KiB) observed after it finished.
+long run_streamed(const std::string& name, std::size_t scenarios,
+                  std::size_t reps) {
+  exp::CampaignAxes axes;
+  axes.name = name;
+  axes.scenario_axis = "cell block";
+  axes.strategy_axis = "variant";
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    axes.scenario_labels.push_back("block" + std::to_string(i));
+  }
+  axes.strategy_labels = {"a", "b", "c", "d"};
+  axes.replications = reps;
+  axes.root_seed = 20090611;
+
+  exp::FoldSink sink;
+  exp::CampaignRunner().run_with_sink(axes, analytic_cell, sink);
+  const exp::CampaignSummary summary = sink.take();
+  // Touch the summary so the fold cannot be optimized away.
+  if (summary.rows.size() != scenarios * 4) {
+    std::cerr << "unexpected row count " << summary.rows.size() << "\n";
+    std::exit(1);
+  }
+  return peak_rss_kb();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t base_scenarios = bench::quick_mode() ? 50 : 200;
+  const std::size_t reps = 25;
+  const std::size_t base_cells = base_scenarios * 4 * reps;
+  bench::print_header(
+      "stress_streaming",
+      "constant-memory campaign aggregation (streaming-pipeline check)",
+      "same analytic campaign at 1x and 10x cells, peak RSS after each; "
+      "flat peak = fold-as-you-go, growing peak = buffering regression");
+
+  const long baseline = peak_rss_kb();
+  const long after_1x = run_streamed("stress_1x", base_scenarios, reps);
+  const long after_10x =
+      run_streamed("stress_10x", base_scenarios * 10, reps);
+
+  report::Table table({"phase", "cells", "peak RSS (KiB)"});
+  table.row().cell("startup").cell(0LL).cell(static_cast<long long>(
+      baseline));
+  table.row()
+      .cell("after 1x streamed")
+      .cell(static_cast<long long>(base_cells))
+      .cell(static_cast<long long>(after_1x));
+  table.row()
+      .cell("after 10x streamed")
+      .cell(static_cast<long long>(base_cells * 10))
+      .cell(static_cast<long long>(after_10x));
+  table.print(std::cout);
+
+  const double growth =
+      after_1x > 0 ? static_cast<double>(after_10x) /
+                         static_cast<double>(after_1x)
+                   : 0.0;
+  std::cout << "\npeak RSS growth 1x -> 10x: " << growth
+            << "x for 10x the cells (streamed aggregation holds memory at "
+               "the reorder window + one aggregate row per group).\n";
+  // A real buffering regression shows up as ~10x growth; allow generous
+  // slack for allocator noise and the 10x-larger label/row vectors.
+  if (growth > 3.0) {
+    std::cout << "WARNING: peak RSS grew " << growth
+              << "x — the streamed path appears to be buffering cells.\n";
+    return 1;
+  }
+  return 0;
+}

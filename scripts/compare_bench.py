@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_perf_micro.json files (google-benchmark JSON format).
+"""Diff two gridsub bench JSON files — micro or report format.
 
-Matches benchmarks by name, normalizes times to nanoseconds, and prints a
-table of baseline vs candidate with the speedup factor, so a claimed
-optimization ships with its measurement. Use --format markdown to publish
-the table as a CI job summary.
+Two input shapes are recognised automatically:
 
-Exit code is 0 unless --fail-below is given: then any benchmark whose
-speedup falls below the threshold (i.e. a regression worse than 1/x) fails
-the run. By default the diff is informational — microbench noise on shared
-CI runners should not block merges.
+* google-benchmark JSON (BENCH_perf_micro.json): benchmarks matched by
+  name, times normalised to nanoseconds, speedup factor per row.
+* gridsub-bench-v1 reports (scripts/run_benches.py output): benches
+  matched by name, wall seconds AND peak RSS diffed side by side, so a
+  memory regression in the streaming campaign pipeline blocks the same
+  way a time regression does.
+
+Use --format markdown to publish the table as a CI job summary.
+
+Exit code is 0 unless a threshold is given: --fail-below X fails when any
+benchmark's speedup falls below X (i.e. a regression worse than 1/X);
+--fail-rss-above Y fails when any bench's peak RSS grew by more than a
+factor of Y (report format only). By default the diff is informational —
+bench noise on shared CI runners should not block merges.
 """
 
 import argparse
@@ -19,12 +26,16 @@ import sys
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load(path):
+def load_payload(path):
     try:
         with open(path) as fh:
-            payload = json.load(fh)
+            return json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"compare_bench: cannot read {path}: {exc}")
+
+
+def load(path):
+    payload = load_payload(path)
     benches = {}
     for entry in payload.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
@@ -44,6 +55,110 @@ def fmt_time(ns):
         if ns >= scale:
             return f"{ns / scale:.2f} {unit}"
     return f"{ns:.0f} ns"
+
+
+def is_report(payload):
+    return payload.get("schema") == "gridsub-bench-v1"
+
+
+def load_report(payload):
+    """Extracts {name: {wall, rss_kb}} from a gridsub-bench-v1 report,
+    skipping benches that errored (their numbers mean nothing)."""
+    benches = {}
+    for name, entry in payload.get("results", {}).items():
+        if entry.get("error") or entry.get("exit_code") != 0:
+            continue
+        benches[name] = {
+            "wall": entry.get("wall_seconds"),
+            "rss_kb": entry.get("peak_rss_kb"),  # None on pre-RSS reports
+        }
+    return benches
+
+
+def fmt_rss(kb):
+    if kb is None:
+        return "-"
+    if kb >= 1024 * 1024:
+        return f"{kb / (1024 * 1024):.2f} GiB"
+    if kb >= 1024:
+        return f"{kb / 1024:.1f} MiB"
+    return f"{kb} KiB"
+
+
+def compare_reports(base_payload, new_payload, md, fail_below,
+                    fail_rss_above):
+    base = load_report(base_payload)
+    new = load_report(new_payload)
+    names = [n for n in base if n in new]
+
+    rows = []
+    worst_speed = None
+    worst_rss = None
+    for name in names:
+        b, n = base[name], new[name]
+        speedup = (b["wall"] / n["wall"]
+                   if b["wall"] and n["wall"] else None)
+        rss_ratio = (n["rss_kb"] / b["rss_kb"]
+                     if b["rss_kb"] and n["rss_kb"] else None)
+        rows.append((name, b, n, speedup, rss_ratio))
+        if speedup is not None and (worst_speed is None
+                                    or speedup < worst_speed):
+            worst_speed = speedup
+        if rss_ratio is not None and (worst_rss is None
+                                      or rss_ratio > worst_rss):
+            worst_rss = rss_ratio
+
+    if md:
+        print("| bench | wall (base) | wall (cand) | speedup "
+              "| RSS (base) | RSS (cand) | RSS ratio |")
+        print("|---|---:|---:|---:|---:|---:|---:|")
+    else:
+        width = max((len(n) for n in names), default=12)
+        print(f"{'bench':<{width}}  {'wall base':>10}  {'wall cand':>10}  "
+              f"{'speedup':>8}  {'rss base':>10}  {'rss cand':>10}  "
+              f"{'rss ratio':>9}")
+    for name, b, n, speedup, rss_ratio in rows:
+        speed_s = f"{speedup:.2f}x" if speedup is not None else "-"
+        rss_s = f"{rss_ratio:.2f}x" if rss_ratio is not None else "-"
+        mark = ""
+        if rss_ratio is not None and rss_ratio >= 1.5:
+            mark = " ⚠️ RSS" if md else " (RSS GREW)"
+        elif speedup is not None and speedup <= 0.8:
+            mark = " ⚠️" if md else " (SLOWER)"
+        if md:
+            print(f"| `{name}` | {b['wall']}s | {n['wall']}s | {speed_s} "
+                  f"| {fmt_rss(b['rss_kb'])} | {fmt_rss(n['rss_kb'])} "
+                  f"| {rss_s}{mark} |")
+        else:
+            print(f"{name:<{width}}  {b['wall']:>9}s  {n['wall']:>9}s  "
+                  f"{speed_s:>8}  {fmt_rss(b['rss_kb']):>10}  "
+                  f"{fmt_rss(n['rss_kb']):>10}  {rss_s:>9}{mark}")
+
+    prefix = "- " if md else ""
+    for name in sorted(set(base) - set(new)):
+        print(f"{prefix}only in baseline: {name}")
+    for name in sorted(set(new) - set(base)):
+        print(f"{prefix}only in candidate: {name}")
+    for key in ("gridsub_build_type", "quick", "host"):
+        a, b = base_payload.get(key), new_payload.get(key)
+        if a != b:
+            print(f"{prefix}warning: {key} differs: baseline={a} "
+                  f"candidate={b}")
+
+    if not rows:
+        print(f"{prefix}no common benches to compare")
+        return 1
+    if fail_below is not None and worst_speed is not None \
+            and worst_speed < fail_below:
+        print(f"{prefix}FAIL: worst speedup {worst_speed:.2f}x is below "
+              f"--fail-below {fail_below}")
+        return 1
+    if fail_rss_above is not None and worst_rss is not None \
+            and worst_rss > fail_rss_above:
+        print(f"{prefix}FAIL: worst peak-RSS ratio {worst_rss:.2f}x is "
+              f"above --fail-rss-above {fail_rss_above}")
+        return 1
+    return 0
 
 
 def context_warnings(base_ctx, new_ctx):
@@ -76,7 +191,22 @@ def main():
                         metavar="X",
                         help="exit 1 if any benchmark's speedup is below X "
                              "(e.g. 0.8 tolerates a 20%% regression)")
+    parser.add_argument("--fail-rss-above", type=float, default=None,
+                        metavar="Y",
+                        help="exit 1 if any bench's peak RSS grew by more "
+                             "than a factor of Y (gridsub-bench-v1 "
+                             "reports only; e.g. 1.5 tolerates +50%%)")
     args = parser.parse_args()
+
+    base_payload = load_payload(args.baseline)
+    new_payload = load_payload(args.candidate)
+    if is_report(base_payload) or is_report(new_payload):
+        if not (is_report(base_payload) and is_report(new_payload)):
+            sys.exit("compare_bench: cannot mix a gridsub-bench-v1 report "
+                     "with a google-benchmark micro JSON")
+        return compare_reports(base_payload, new_payload,
+                               args.format == "markdown",
+                               args.fail_below, args.fail_rss_above)
 
     base_ctx, base = load(args.baseline)
     new_ctx, new = load(args.candidate)

@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
 """Bench runner: executes gridsub bench binaries and records a JSON report.
 
-Each listed bench is run once; wall time, exit status, and captured stdout
-are written to a single JSON file (one entry per bench) together with the
-git revision, so successive PRs accumulate a comparable perf trajectory in
-the repo-root BENCH_*.json files.
+Each listed bench is run once; wall time, peak RSS, exit status, and
+captured stdout are written to a single JSON file (one entry per bench)
+together with the git revision, so successive PRs accumulate a comparable
+perf trajectory in the repo-root BENCH_*.json files. Peak RSS comes from
+the kernel's accounting for the child (wait4 → ru_maxrss), so memory
+regressions in the streaming campaign pipeline show up in the same diffs
+as time regressions (scripts/compare_bench.py reports both).
+
+--progress forwards GRIDSUB_PROGRESS=1 to the benches and lets their
+stderr flow straight to the terminal, so long campaigns show shard-aware
+completed/total + ETA lines while they run.
 
 bench_perf_micro (google-benchmark) is handled specially: it is run with
 --benchmark_format=json and its structured output is written to the
@@ -32,9 +39,74 @@ import os
 import platform
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 
 MICRO_BENCH = "bench_perf_micro"
+
+
+def run_with_rusage(args, timeout, env=None, stderr_passthrough=False):
+    """Runs one bench child and returns (entry, stdout_text, stderr_text).
+
+    Uses os.wait4 so the entry records the child's true peak RSS
+    (ru_maxrss, KiB on Linux) alongside wall time and exit status —
+    subprocess.run cannot surface rusage. stdout/stderr go to temp files
+    (pipes would deadlock on multi-megabyte campaign output with nobody
+    draining them mid-run); with stderr_passthrough the child's stderr
+    stays on the terminal instead, for live --progress meters. A watchdog
+    timer kills the child at the timeout, since there is no wait4 variant
+    with one."""
+    if not hasattr(os, "wait4"):  # non-POSIX fallback: no rusage
+        start = time.monotonic()
+        try:
+            proc = subprocess.run(args, capture_output=True, text=True,
+                                  timeout=timeout, env=env)
+        except subprocess.TimeoutExpired:
+            return ({"wall_seconds": round(time.monotonic() - start, 4),
+                     "exit_code": None,
+                     "error": f"timed out after {timeout}s"}, "", "")
+        entry = {"wall_seconds": round(time.monotonic() - start, 4),
+                 "exit_code": proc.returncode}
+        return entry, proc.stdout, proc.stderr
+    with tempfile.TemporaryFile() as out_fh, \
+            tempfile.TemporaryFile() as err_fh:
+        err_target = None if stderr_passthrough else err_fh
+        start = time.monotonic()
+        proc = subprocess.Popen(args, stdout=out_fh, stderr=err_target,
+                                env=env)
+        timed_out = threading.Event()
+
+        def _kill():
+            timed_out.set()
+            proc.kill()
+
+        watchdog = threading.Timer(timeout, _kill)
+        watchdog.start()
+        try:
+            _, status, rusage = os.wait4(proc.pid, 0)
+        finally:
+            watchdog.cancel()
+        elapsed = time.monotonic() - start
+        # The child is already reaped; hand Popen its exit status so its
+        # destructor doesn't try to wait again.
+        proc.returncode = (-os.WTERMSIG(status) if os.WIFSIGNALED(status)
+                           else os.WEXITSTATUS(status))
+        if timed_out.is_set():
+            return ({"wall_seconds": round(elapsed, 4),
+                     "exit_code": None,
+                     "peak_rss_kb": rusage.ru_maxrss,
+                     "error": f"timed out after {timeout}s"}, "", "")
+        entry = {
+            "wall_seconds": round(elapsed, 4),
+            "exit_code": proc.returncode,
+            "peak_rss_kb": rusage.ru_maxrss,
+        }
+        out_fh.seek(0)
+        stdout = out_fh.read().decode("utf-8", errors="replace")
+        err_fh.seek(0)
+        stderr = err_fh.read().decode("utf-8", errors="replace")
+        return entry, stdout, stderr
 
 
 def read_build_info(bin_dir):
@@ -93,7 +165,8 @@ def git_revision(repo_root):
         return "unknown"
 
 
-def run_report_bench(path, timeout, quick, shard=None, checkpoint_dir=None):
+def run_report_bench(path, timeout, quick, shard=None, checkpoint_dir=None,
+                     progress=False):
     # Campaign benches honour GRIDSUB_BENCH_QUICK=1 by shrinking
     # replications (never axis coverage) so smoke runs stay fast. Set the
     # variable explicitly both ways: a full run must not silently inherit
@@ -107,23 +180,18 @@ def run_report_bench(path, timeout, quick, shard=None, checkpoint_dir=None):
         env["GRIDSUB_CHECKPOINT_DIR"] = checkpoint_dir
     else:
         env.pop("GRIDSUB_CHECKPOINT_DIR", None)
-    start = time.monotonic()
-    try:
-        proc = subprocess.run([path], capture_output=True, text=True,
-                              timeout=timeout, env=env)
-        elapsed = time.monotonic() - start
-        return {
-            "wall_seconds": round(elapsed, 4),
-            "exit_code": proc.returncode,
-            "stdout_lines": proc.stdout.splitlines(),
-            "stderr_tail": proc.stderr.splitlines()[-5:],
-        }
-    except subprocess.TimeoutExpired:
-        return {
-            "wall_seconds": round(time.monotonic() - start, 4),
-            "exit_code": None,
-            "error": f"timed out after {timeout}s",
-        }
+    if progress:
+        env["GRIDSUB_PROGRESS"] = "1"
+    else:
+        env.pop("GRIDSUB_PROGRESS", None)
+    entry, stdout, stderr = run_with_rusage(
+        [path], timeout, env=env, stderr_passthrough=progress)
+    if entry.get("error"):
+        return entry
+    entry["stdout_lines"] = stdout.splitlines()
+    if not progress:  # passthrough stderr went to the terminal, not to us
+        entry["stderr_tail"] = stderr.splitlines()[-5:]
+    return entry
 
 
 def run_micro_bench(path, micro_json, quick, timeout, build_type=None):
@@ -131,17 +199,12 @@ def run_micro_bench(path, micro_json, quick, timeout, build_type=None):
     if quick:
         # Plain double form: the "0.05s" suffix syntax needs benchmark >= 1.8.
         args.append("--benchmark_min_time=0.05")
-    start = time.monotonic()
-    try:
-        proc = subprocess.run(args, capture_output=True, text=True,
-                              timeout=timeout)
-    except subprocess.TimeoutExpired:
-        return {"exit_code": None, "error": "micro bench timed out"}
-    elapsed = time.monotonic() - start
-    entry = {"wall_seconds": round(elapsed, 4), "exit_code": proc.returncode}
-    if proc.returncode == 0:
+    entry, stdout, stderr = run_with_rusage(args, timeout)
+    if entry.get("error"):
+        return entry
+    if entry["exit_code"] == 0:
         try:
-            payload = json.loads(proc.stdout)
+            payload = json.loads(stdout)
         except json.JSONDecodeError:
             entry["error"] = "non-JSON benchmark output"
             return entry
@@ -156,7 +219,7 @@ def run_micro_bench(path, micro_json, quick, timeout, build_type=None):
         entry["written"] = os.path.basename(micro_json)
         entry["benchmark_count"] = len(payload.get("benchmarks", []))
     else:
-        entry["stderr_tail"] = proc.stderr.splitlines()[-5:]
+        entry["stderr_tail"] = stderr.splitlines()[-5:]
     return entry
 
 
@@ -184,6 +247,10 @@ def main():
                         help="campaign checkpoint directory: interrupted "
                              "runs resume, finished campaigns also write "
                              "<campaign>.json here")
+    parser.add_argument("--progress", action="store_true",
+                        help="forward GRIDSUB_PROGRESS=1 and stream bench "
+                             "stderr to the terminal (live shard-aware "
+                             "completed/total + ETA lines)")
     args = parser.parse_args()
 
     if args.shard:
@@ -235,7 +302,8 @@ def main():
                                     args.timeout, build_type)
         else:
             entry = run_report_bench(path, args.timeout, args.quick,
-                                     args.shard, args.checkpoint_dir)
+                                     args.shard, args.checkpoint_dir,
+                                     args.progress)
         report["results"][name] = entry
         if entry.get("exit_code") != 0 or entry.get("error"):
             failures += 1

@@ -17,9 +17,24 @@ workflows end to end:
                    directory and gridsub_campaign_merge folds the shard
                    checkpoints into one JSON.
 
-Any byte difference between (2) or (3) and (1) — JSON or bench stdout —
-is a failure. Exercises the same binaries and flags a multi-host user
-would, unlike the unit suites which drive the library API.
+A staged bench (default: bench_table6_cross_week, whose tune stage
+parameterizes the transfer campaign) then exercises stage-output
+checkpointing the same way:
+
+  4. staged kill — the published fit-stage output is cut back down to a
+                   torn mid-fit .stage.ckpt and the bench re-run: it must
+                   resume the fit cell-by-cell, republish the stage, and
+                   print byte-identical tables + transfer JSON;
+  5. staged shards — three sequential --shard i/3 runs share a directory;
+                   shard 0 publishes the fit stage, shards 1-2 must LOAD
+                   it (asserted on their stderr) instead of re-fitting,
+                   and the streamed shard merge must reproduce the
+                   straight run's transfer JSON.
+
+Any byte difference between (2)/(3)/(4)/(5) and its straight reference —
+JSON or bench stdout — is a failure. Exercises the same binaries and
+flags a multi-host user would, unlike the unit suites which drive the
+library API.
 """
 
 import argparse
@@ -31,6 +46,8 @@ import sys
 import tempfile
 
 CAMPAIGN = "ablation_sample_size"
+STAGE = "table6_tune"
+STAGED_CAMPAIGN = "table6_transfer"
 
 
 def run(cmd, env_extra=None, **kwargs):
@@ -51,6 +68,64 @@ def fail(msg):
     return 1
 
 
+def staged_flows(args, work, staged, staged_resume, staged_shards):
+    """Flows 4 and 5: fit-stage kill+resume and stage sharing across
+    shards, driven through the staged bench binary."""
+    staged_bench = os.path.join(args.bin_dir, args.staged_bench)
+
+    # 4a. Straight staged run: publishes <stage>.stage and writes the
+    # canonical transfer JSON next to it.
+    s_ref = run([staged_bench], {"GRIDSUB_CHECKPOINT_DIR": staged})
+    s_ref_json = os.path.join(staged, f"{STAGED_CAMPAIGN}.json")
+    stage_file = os.path.join(staged, f"{STAGE}.stage")
+    if not os.path.exists(s_ref_json):
+        return fail(f"staged straight run wrote no {s_ref_json}")
+    if not os.path.exists(stage_file):
+        return fail(f"staged straight run published no {stage_file}")
+
+    # 4b. Mid-fit kill: a published .stage file is one identity header
+    # line followed by a complete cell checkpoint, so dropping the header
+    # and truncating mid-record reconstructs exactly what kill -9 leaves
+    # behind in <stage>.stage.ckpt before the stage was ever published.
+    with open(stage_file, "rb") as fh:
+        ckpt_lines = fh.readlines()[1:]
+    n_keep = 1 + (len(ckpt_lines) - 1) // 2
+    with open(os.path.join(staged_resume, f"{STAGE}.stage.ckpt"),
+              "wb") as fh:
+        fh.writelines(ckpt_lines[:n_keep])
+        fh.write(ckpt_lines[n_keep][:max(len(ckpt_lines[n_keep]) - 20, 5)])
+    s_resumed = run([staged_bench],
+                    {"GRIDSUB_CHECKPOINT_DIR": staged_resume})
+    if "(resumed" not in s_resumed.stderr:
+        return fail("staged resume did not report resumed fit cells "
+                    f"(stderr: {s_resumed.stderr!r})")
+    if s_resumed.stdout != s_ref.stdout:
+        return fail("staged resume stdout differs from straight run")
+    if not filecmp.cmp(os.path.join(staged_resume,
+                                    f"{STAGED_CAMPAIGN}.json"),
+                       s_ref_json, shallow=False):
+        return fail("staged resume transfer JSON differs from straight run")
+    print(f"[smoke] ok   killed-mid-fit stage resumed byte-identically "
+          f"(resumed {n_keep - 1} of {len(ckpt_lines) - 1} fit cells)")
+
+    # 5. Staged shards: run sequentially so shard 0 publishes the fit
+    # stage before its siblings start — they must load it, not re-fit.
+    for i in range(3):
+        r = run([staged_bench], {"GRIDSUB_CHECKPOINT_DIR": staged_shards,
+                                 "GRIDSUB_SHARD": f"{i}/3"})
+        if i > 0 and f"[stage] {STAGE}: loaded" not in r.stderr:
+            return fail(f"shard {i} re-fit the stage instead of loading "
+                        f"shard 0's (stderr: {r.stderr!r})")
+    merged = os.path.join(work, "staged-merged.json")
+    run([args.merge_tool, "--dir", staged_shards,
+         "--name", STAGED_CAMPAIGN, "--out", merged])
+    if not filecmp.cmp(merged, s_ref_json, shallow=False):
+        return fail("staged 3-shard merged JSON differs from straight run")
+    print("[smoke] ok   3 shards shared one fit stage; streamed merge is "
+          "byte-identical")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", required=True,
@@ -58,6 +133,9 @@ def main():
     parser.add_argument("--merge-tool", required=True,
                         help="path to gridsub_campaign_merge")
     parser.add_argument("--bench", default=f"bench_{CAMPAIGN}")
+    parser.add_argument("--staged-bench", default="bench_table6_cross_week",
+                        help="staged bench for the fit-stage kill/shard "
+                             "flows (pass '' to skip them)")
     parser.add_argument("--keep", action="store_true",
                         help="keep the work directory for inspection")
     args = parser.parse_args()
@@ -67,7 +145,11 @@ def main():
     straight = os.path.join(work, "straight")
     resume = os.path.join(work, "resume")
     shards = os.path.join(work, "shards")
-    for d in (straight, resume, shards):
+    staged = os.path.join(work, "staged-straight")
+    staged_resume = os.path.join(work, "staged-resume")
+    staged_shards = os.path.join(work, "staged-shards")
+    for d in (straight, resume, shards,
+              staged, staged_resume, staged_shards):
         os.makedirs(d)
 
     try:
@@ -106,6 +188,12 @@ def main():
         if not filecmp.cmp(merged, ref_json, shallow=False):
             return fail("3-shard merged JSON differs from straight run")
         print("[smoke] ok   3-shard merged run is byte-identical")
+
+        if args.staged_bench:
+            code = staged_flows(args, work, staged, staged_resume,
+                                staged_shards)
+            if code:
+                return code
         print("[smoke] scale-out smoke passed")
         return 0
     except subprocess.CalledProcessError as e:

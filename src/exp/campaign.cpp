@@ -1,25 +1,25 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <atomic>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "exp/checkpoint.hpp"
-#include "exp/json_util.hpp"
+#include "exp/fold.hpp"
 #include "stats/rng.hpp"
 
 namespace gridsub::exp {
 
 namespace {
-
-using detail::json_escape;
-using detail::json_number;
 
 // Odd multipliers keep index 0 from collapsing the hash chain; the
 // constants are the SplitMix64 finalizer's own.
@@ -82,47 +82,16 @@ void CampaignAxes::validate() const {
 CampaignResult::CampaignResult(CampaignAxes axes,
                                std::vector<CellResult> cells)
     : axes_(std::move(axes)), cells_(std::move(cells)) {
-  // Aggregate in flat-index order: replications of one (scenario,
-  // strategy) group are contiguous, so each group folds in a fixed order
-  // regardless of the execution schedule.
-  const std::size_t reps = axes_.replications;
-  aggregates_.reserve(cells_.size() / std::max<std::size_t>(1, reps));
-  for (std::size_t base = 0; base + reps <= cells_.size(); base += reps) {
-    AggregateRow row;
-    row.scenario = cells_[base].context.scenario;
-    row.strategy = cells_[base].context.strategy;
-    row.replications = reps;
-    const CellMetrics& first = cells_[base].metrics;
-    row.metrics.reserve(first.size());
-    for (std::size_t m = 0; m < first.size(); ++m) {
-      AggregateRow::Metric metric;
-      metric.name = first[m].first;
-      double sum = 0.0;
-      for (std::size_t r = 0; r < reps; ++r) {
-        const CellMetrics& cell = cells_[base + r].metrics;
-        if (cell.size() != first.size() || cell[m].first != metric.name) {
-          throw std::logic_error(
-              "CampaignResult: replications of group (" +
-              axes_.scenario_labels[row.scenario] + ", " +
-              axes_.strategy_labels[row.strategy] +
-              ") emitted mismatched metric names");
-        }
-        sum += cell[m].second;
-      }
-      metric.mean = sum / static_cast<double>(reps);
-      if (reps > 1) {
-        double ss = 0.0;
-        for (std::size_t r = 0; r < reps; ++r) {
-          const double d = cells_[base + r].metrics[m].second - metric.mean;
-          ss += d * d;
-        }
-        metric.sem = std::sqrt(ss / static_cast<double>(reps - 1) /
-                               static_cast<double>(reps));
-      }
-      row.metrics.push_back(std::move(metric));
-    }
-    aggregates_.push_back(std::move(row));
-  }
+  // Aggregate through the same streaming folds the sinks use, in flat
+  // order: replications of one (scenario, strategy) group are contiguous,
+  // so each group folds in a fixed order regardless of the execution
+  // schedule — and the buffered and streamed paths stay byte-identical
+  // by construction.
+  const std::size_t reps = std::max<std::size_t>(1, axes_.replications);
+  const std::size_t whole = (cells_.size() / reps) * reps;
+  AggregateFold fold(axes_);
+  for (std::size_t flat = 0; flat < whole; ++flat) fold.add(cells_[flat]);
+  aggregates_ = fold.take_rows();
 }
 
 const AggregateRow& CampaignResult::aggregate(std::size_t scenario,
@@ -136,18 +105,6 @@ const AggregateRow& CampaignResult::aggregate(std::size_t scenario,
   return aggregates_[scenario * axes_.strategy_labels.size() + strategy];
 }
 
-namespace {
-
-const AggregateRow::Metric& find_metric(const AggregateRow& row,
-                                        const std::string& name) {
-  for (const auto& m : row.metrics) {
-    if (m.name == name) return m;
-  }
-  throw std::out_of_range("CampaignResult: unknown metric '" + name + "'");
-}
-
-}  // namespace
-
 double CampaignResult::mean(std::size_t scenario, std::size_t strategy,
                             const std::string& metric) const {
   return find_metric(aggregate(scenario, strategy), metric).mean;
@@ -160,79 +117,16 @@ double CampaignResult::sem(std::size_t scenario, std::size_t strategy,
 
 report::Table CampaignResult::summary_table(
     const std::vector<std::string>& metrics) const {
-  std::vector<std::string> names = metrics;
-  if (names.empty() && !aggregates_.empty()) {
-    for (const auto& m : aggregates_.front().metrics) names.push_back(m.name);
-  }
-  std::vector<std::string> headers = {axes_.scenario_axis,
-                                      axes_.strategy_axis};
-  for (const auto& n : names) headers.push_back(n);
-  report::Table table(std::move(headers));
-  for (const auto& row : aggregates_) {
-    auto& r = table.row()
-                  .cell(axes_.scenario_labels[row.scenario])
-                  .cell(axes_.strategy_labels[row.strategy]);
-    for (const auto& n : names) r.cell(find_metric(row, n).mean, 3);
-  }
-  return table;
+  return exp::summary_table(axes_, aggregates_, metrics);
 }
 
 void CampaignResult::write_json(std::ostream& os) const {
-  os << "{\n  \"schema\": \"gridsub-campaign-v1\",\n  \"name\": ";
-  json_escape(os, axes_.name);
-  os << ",\n  \"root_seed\": " << axes_.root_seed;
-  os << ",\n  \"axes\": {";
-  json_escape(os, axes_.scenario_axis);
-  os << ": [";
-  for (std::size_t i = 0; i < axes_.scenario_labels.size(); ++i) {
-    if (i > 0) os << ", ";
-    json_escape(os, axes_.scenario_labels[i]);
-  }
-  os << "], ";
-  json_escape(os, axes_.strategy_axis);
-  os << ": [";
-  for (std::size_t i = 0; i < axes_.strategy_labels.size(); ++i) {
-    if (i > 0) os << ", ";
-    json_escape(os, axes_.strategy_labels[i]);
-  }
-  os << "], \"replications\": " << axes_.replications << "},\n";
-  os << "  \"cells\": [\n";
+  detail::write_campaign_json_prefix(os, axes_);
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const CellResult& c = cells_[i];
-    os << "    {\"scenario\": ";
-    json_escape(os, axes_.scenario_labels[c.context.scenario]);
-    os << ", \"strategy\": ";
-    json_escape(os, axes_.strategy_labels[c.context.strategy]);
-    os << ", \"replication\": " << c.context.replication;
-    os << ", \"seed\": " << c.context.seed << ", \"metrics\": {";
-    for (std::size_t m = 0; m < c.metrics.size(); ++m) {
-      if (m > 0) os << ", ";
-      json_escape(os, c.metrics[m].first);
-      os << ": ";
-      json_number(os, c.metrics[m].second);
-    }
-    os << "}}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+    detail::write_campaign_json_cell(os, axes_, cells_[i],
+                                     i + 1 == cells_.size());
   }
-  os << "  ],\n  \"aggregates\": [\n";
-  for (std::size_t i = 0; i < aggregates_.size(); ++i) {
-    const AggregateRow& row = aggregates_[i];
-    os << "    {\"scenario\": ";
-    json_escape(os, axes_.scenario_labels[row.scenario]);
-    os << ", \"strategy\": ";
-    json_escape(os, axes_.strategy_labels[row.strategy]);
-    os << ", \"replications\": " << row.replications << ", \"metrics\": {";
-    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
-      if (m > 0) os << ", ";
-      json_escape(os, row.metrics[m].name);
-      os << ": {\"mean\": ";
-      json_number(os, row.metrics[m].mean);
-      os << ", \"stderr\": ";
-      json_number(os, row.metrics[m].sem);
-      os << "}";
-    }
-    os << "}}" << (i + 1 < aggregates_.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
+  detail::write_campaign_json_aggregates(os, axes_, aggregates_);
 }
 
 std::string CampaignResult::to_json() const {
@@ -279,7 +173,7 @@ ResumeState resume_from(const std::string& path, const CampaignAxes& axes,
   if (content.find('\n') == std::string::npos) {
     // A newline-less file can be the artifact of a kill during the very
     // first (header) write — but only if it reads as a clipped header.
-    // Then no record can exist and the run starts fresh (run_pending
+    // Then no record can exist and the run starts fresh (the writer
     // truncates to valid_bytes = 0 before writing the new header). Any
     // other newline-less content means checkpoint_path points at some
     // unrelated file, which must never be silently overwritten.
@@ -320,18 +214,23 @@ ResumeState resume_from(const std::string& path, const CampaignAxes& axes,
   return state;
 }
 
-/// Evaluates every not-yet-done cell owned by options.shard, appending
-/// each to the checkpoint file as it completes; returns the number of
-/// cells freshly evaluated.
-std::size_t run_pending(const CampaignOptions& options,
-                        const CampaignAxes& axes,
-                        const CellEvaluator& evaluate,
-                        const ResumeState& resume,
-                        std::vector<CellResult>& cells) {
+/// The streaming core behind run / run_with_sink / run_shard.
+///
+/// Workers claim pending cells from an atomic cursor in ascending flat
+/// order; a claim may start evaluating only when fewer than
+/// `reorder_window` earlier claims are still undelivered, so completed
+/// cells never pile up beyond the window. Completions land in a
+/// window-sized ring and are drained — interleaved with checkpoint-
+/// restored cells — to the sink in strictly ascending flat order. This
+/// cannot deadlock: deliveries follow claim order, so the minimal
+/// in-flight claim always has every earlier claim already delivered and
+/// its own gate open.
+std::size_t run_cells(const CampaignOptions& options,
+                      const CampaignAxes& axes,
+                      const CellEvaluator& evaluate, ResumeState resume,
+                      CampaignSink* sink) {
   const std::size_t n = axes.cell_count();
-  const std::vector<bool>& done = resume.have;
-  par::ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : par::ThreadPool::shared();
+  const CampaignShard shard = options.shard;
 
   std::ofstream checkpoint;
   if (!options.checkpoint_path.empty()) {
@@ -356,7 +255,7 @@ std::size_t run_pending(const CampaignOptions& options,
                             options.checkpoint_path + "' for writing");
     }
     if (resume.fresh) {
-      write_checkpoint_header(checkpoint, axes, options.shard);
+      write_checkpoint_header(checkpoint, axes, shard);
       checkpoint.flush();
     } else if (resume.missing_final_newline) {
       checkpoint << '\n';
@@ -368,18 +267,112 @@ std::size_t run_pending(const CampaignOptions& options,
     }
   }
 
-  std::mutex progress_mutex;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
+  // Owned cells in ascending flat order; the not-yet-done subset is the
+  // claim list workers race down.
+  std::vector<std::size_t> owned;
+  std::vector<std::size_t> pending;
   for (std::size_t flat = 0; flat < n; ++flat) {
-    if (done[flat] || !options.shard.owns(flat)) continue;
-    futures.push_back(pool.submit([&options, &axes, &evaluate, &cells,
-                                   &progress_mutex, &checkpoint, flat] {
-      CellResult result;
-      result.context = axes.cell(flat);
-      result.metrics = evaluate(result.context);
+    if (!shard.owns(flat)) continue;
+    owned.push_back(flat);
+    if (!resume.have[flat]) pending.push_back(flat);
+  }
+  const std::size_t resumed_count = owned.size() - pending.size();
+
+  par::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : par::ThreadPool::shared();
+  const std::size_t window =
+      options.reorder_window > 0
+          ? options.reorder_window
+          : std::max<std::size_t>(16, 2 * pool.thread_count());
+
+  if (sink != nullptr) sink->begin(axes);
+
+  std::mutex mu;
+  std::condition_variable gate;
+  std::atomic<std::size_t> next_claim{0};
+  // Claim k's completion parks in ring[k % ring.size()] until drained;
+  // the gate keeps at most `window` claims undelivered, so a window-sized
+  // ring can never collide.
+  std::vector<std::optional<CellResult>> ring(
+      std::max<std::size_t>(1, std::min(window, pending.size())));
+  std::size_t drained_fresh = 0;  // fresh claims delivered, in claim order
+  std::size_t deliver_pos = 0;    // next owned[] entry to deliver
+  std::size_t fresh_done = 0;     // fresh cells completed, any order
+  bool aborted = false;
+  std::exception_ptr first_error;
+  std::size_t first_error_claim = 0;
+
+  const auto record_error = [&](std::size_t claim) {
+    // Keep the lowest-claim error: deterministic choice among racers.
+    if (!first_error || claim < first_error_claim) {
+      first_error = std::current_exception();
+      first_error_claim = claim;
+    }
+    aborted = true;
+  };
+
+  // Requires mu held. Delivers every cell that is ready, in flat order:
+  // restored cells immediately, fresh ones as their ring slot fills.
+  const auto drain = [&] {
+    while (deliver_pos < owned.size()) {
+      const std::size_t flat = owned[deliver_pos];
+      CellResult cell;
+      if (resume.have[flat]) {
+        cell.context = axes.cell(flat);
+        cell.metrics = std::move(resume.metrics[flat]);
+      } else {
+        std::optional<CellResult>& slot =
+            ring[drained_fresh % ring.size()];
+        if (!slot.has_value()) break;  // next fresh cell still in flight
+        cell = std::move(*slot);
+        slot.reset();
+        ++drained_fresh;
+        gate.notify_all();
+      }
+      if (sink != nullptr) sink->on_cell(cell);
+      ++deliver_pos;
+    }
+  };
+
+  const auto report_progress = [&] {
+    if (!options.on_progress) return;
+    CampaignProgress p;
+    p.completed = resumed_count + fresh_done;
+    p.total = owned.size();
+    p.fresh = fresh_done;
+    p.shard = shard;
+    options.on_progress(p);
+  };
+
+  {
+    // Baseline: deliver the restored prefix (everything, on a fully
+    // resumed run) and let a resume-aware ETA start from `completed`.
+    const std::lock_guard lock(mu);
+    report_progress();
+    try {
+      drain();
+    } catch (...) {
+      record_error(0);
+    }
+  }
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t claim =
+          next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (claim >= pending.size()) return;
       {
-        const std::lock_guard lock(progress_mutex);
+        std::unique_lock lock(mu);
+        gate.wait(lock, [&] {
+          return aborted || claim < drained_fresh + window;
+        });
+      }
+      const std::size_t flat = pending[claim];
+      try {
+        CellResult result;
+        result.context = axes.cell(flat);
+        result.metrics = evaluate(result.context);
+        const std::lock_guard lock(mu);
         if (checkpoint.is_open()) {
           // One write + flush per record: a kill can only clip the final
           // line, which readers drop (see exp/checkpoint.hpp).
@@ -397,26 +390,72 @@ std::size_t run_pending(const CampaignOptions& options,
                                   options.checkpoint_path + "'");
           }
         }
-        if (options.on_cell) options.on_cell(result);
+        ++fresh_done;
+        report_progress();
+        if (!aborted) {
+          ring[claim % ring.size()] = std::move(result);
+          drain();
+        }
+        gate.notify_all();
+      } catch (...) {
+        // Evaluation, checkpoint-append, or sink failure: remember the
+        // error, open every gate, and keep claiming — remaining cells
+        // still evaluate (and checkpoint) so a rerun resumes close to
+        // where this one failed.
+        const std::lock_guard lock(mu);
+        record_error(claim);
+        gate.notify_all();
       }
-      cells[flat] = std::move(result);
-    }));
-  }
-  // Settle every cell before touching `cells`, then surface the first
-  // failure: returning early would tear down slots workers still write.
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(1, pool.thread_count()),
+               pending.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) futures.push_back(
+      pool.submit(worker));
+  for (auto& f : futures) f.get();  // workers swallow their own errors
+
+  {
+    const std::lock_guard lock(mu);
+    if (first_error) std::rethrow_exception(first_error);
+    if (deliver_pos != owned.size()) {
+      throw std::logic_error(
+          "CampaignRunner: drained " + std::to_string(deliver_pos) +
+          " of " + std::to_string(owned.size()) + " cells with no error");
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
-  return futures.size();
+  if (sink != nullptr) sink->end();
+  return pending.size();
 }
 
 }  // namespace
+
+void CampaignRunner::run_with_sink(const CampaignAxes& axes,
+                                   const CellEvaluator& evaluate,
+                                   CampaignSink& sink) const {
+  axes.validate();
+  if (!evaluate) {
+    throw std::invalid_argument("CampaignRunner::run_with_sink: null "
+                                "evaluator");
+  }
+  options_.shard.validate();
+  if (options_.shard.active()) {
+    throw std::invalid_argument(
+        "CampaignRunner::run_with_sink: options name shard " +
+        std::to_string(options_.shard.index) + "/" +
+        std::to_string(options_.shard.count) +
+        " but a sink run produces the whole grid — use run_shard() and "
+        "merge_checkpoints()");
+  }
+  ResumeState resume(axes.cell_count());
+  if (!options_.checkpoint_path.empty()) {
+    resume = resume_from(options_.checkpoint_path, axes, options_.shard);
+  }
+  (void)run_cells(options_, axes, evaluate, std::move(resume), &sink);
+}
 
 CampaignResult CampaignRunner::run(const CampaignAxes& axes,
                                    const CellEvaluator& evaluate) const {
@@ -433,23 +472,18 @@ CampaignResult CampaignRunner::run(const CampaignAxes& axes,
         " but run() produces the whole grid — use run_shard() and "
         "merge_checkpoints()");
   }
-  const std::size_t n = axes.cell_count();
-  ResumeState resume(n);
+  ResumeState resume(axes.cell_count());
   if (!options_.checkpoint_path.empty()) {
     resume = resume_from(options_.checkpoint_path, axes, options_.shard);
   }
-  std::vector<CellResult> cells(n);
-  for (std::size_t flat = 0; flat < n; ++flat) {
-    if (!resume.have[flat]) continue;
-    cells[flat].context = axes.cell(flat);
-    cells[flat].metrics = std::move(resume.metrics[flat]);
-  }
-  run_pending(options_, axes, evaluate, resume, cells);
-  return CampaignResult(axes, std::move(cells));
+  CollectSink collect;
+  (void)run_cells(options_, axes, evaluate, std::move(resume), &collect);
+  return collect.take();
 }
 
 std::size_t CampaignRunner::run_shard(const CampaignAxes& axes,
-                                      const CellEvaluator& evaluate) const {
+                                      const CellEvaluator& evaluate,
+                                      CampaignSink* sink) const {
   axes.validate();
   if (!evaluate) {
     throw std::invalid_argument("CampaignRunner::run_shard: null evaluator");
@@ -462,8 +496,7 @@ std::size_t CampaignRunner::run_shard(const CampaignAxes& axes,
   }
   ResumeState resume =
       resume_from(options_.checkpoint_path, axes, options_.shard);
-  std::vector<CellResult> cells(axes.cell_count());
-  return run_pending(options_, axes, evaluate, resume, cells);
+  return run_cells(options_, axes, evaluate, std::move(resume), sink);
 }
 
 }  // namespace gridsub::exp

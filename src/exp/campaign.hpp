@@ -120,9 +120,14 @@ struct AggregateRow {
     std::string name;
     double mean = 0.0;
     double sem = 0.0;  ///< sample stderr of the mean (0 for 1 replication)
+    double min = 0.0;  ///< smallest per-cell value across replications
+    double max = 0.0;  ///< largest per-cell value across replications
   };
   std::vector<Metric> metrics;  ///< in cell metric order
 };
+
+/// Consumer of campaign cells in ascending flat order (exp/fold.hpp).
+class CampaignSink;
 
 /// Collected campaign output: per-cell metrics in flat order plus
 /// per-group aggregates, renderable as a table or deterministic JSON.
@@ -165,14 +170,32 @@ class CampaignResult {
   std::vector<AggregateRow> aggregates_;
 };
 
+/// Monotone progress snapshot delivered to CampaignOptions::on_progress.
+/// `completed` counts every cell this process holds — restored from a
+/// checkpoint or freshly evaluated — so resume-aware ETAs come out right;
+/// `fresh` counts only cells evaluated in this run (the rate basis).
+struct CampaignProgress {
+  std::size_t completed = 0;  ///< cells done so far (monotone, <= total)
+  std::size_t total = 0;      ///< cells this process will hold at the end
+  std::size_t fresh = 0;      ///< cells freshly evaluated this run
+  CampaignShard shard;        ///< the partition this process owns
+};
+
 struct CampaignOptions {
   /// Pool to shard cells on; nullptr uses par::ThreadPool::shared().
   par::ThreadPool* pool = nullptr;
-  /// Progress callback, invoked under a mutex as freshly evaluated cells
-  /// finish (completion order, i.e. nondeterministic — do not derive
-  /// results from it). Cells restored from a checkpoint are not replayed
-  /// through it.
-  std::function<void(const CellResult&)> on_cell;
+  /// Progress callback, invoked under the runner's lock: once with the
+  /// resumed baseline before evaluation starts, then after every freshly
+  /// completed cell. Snapshots are monotone in `completed`. Completion
+  /// order is nondeterministic — do not derive results from it; the
+  /// callback must not throw.
+  std::function<void(const CampaignProgress&)> on_progress;
+  /// Size of the reorder window that holds out-of-order cell completions
+  /// back so sinks see ascending flat order: a worker may start cell k
+  /// (in claim order) only when fewer than `reorder_window` earlier cells
+  /// are still outstanding. Bounds both sink buffering and checkpoint
+  /// record disorder. 0 picks max(16, 2 × pool threads).
+  std::size_t reorder_window = 0;
   /// When non-empty, every completed cell is appended to this checkpoint
   /// file (exp/checkpoint.hpp format) and flushed as it finishes, and a
   /// later run with the same axes resumes by skipping recorded cells.
@@ -191,25 +214,37 @@ class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignOptions options = {});
 
-  /// Runs every cell of `axes` through `evaluate`. Cells are submitted to
-  /// the pool individually (dynamic load balancing; cell costs vary).
-  /// The first cell exception is rethrown after all cells have settled —
-  /// with checkpointing enabled, cells that completed before the failure
-  /// are already on disk, so the rerun resumes rather than restarts.
-  /// Throws std::invalid_argument when options name a multi-shard
-  /// partition (use run_shard) and CheckpointError when an existing
-  /// checkpoint is corrupt or belongs to a different campaign.
+  /// Runs every cell of `axes` through `evaluate`, collecting the full
+  /// in-memory result (a CollectSink under the hood). Cells are claimed
+  /// from the pool dynamically (load balancing; cell costs vary). The
+  /// lowest-claim cell exception is rethrown after all cells have
+  /// settled — with checkpointing enabled, cells that completed before
+  /// the failure are already on disk, so the rerun resumes rather than
+  /// restarts. Throws std::invalid_argument when options name a
+  /// multi-shard partition (use run_shard) and CheckpointError when an
+  /// existing checkpoint is corrupt or belongs to a different campaign.
   [[nodiscard]] CampaignResult run(const CampaignAxes& axes,
                                    const CellEvaluator& evaluate) const;
+
+  /// Like run(), but streams cells into `sink` in ascending flat order
+  /// instead of materializing a CampaignResult: memory stays
+  /// O(reorder_window) + whatever the sink keeps (O(groups) for
+  /// FoldSink/JsonStreamSink). Resumed cells flow through the sink too,
+  /// so a resumed run's sink output is identical to a straight one's.
+  void run_with_sink(const CampaignAxes& axes, const CellEvaluator& evaluate,
+                     CampaignSink& sink) const;
 
   /// Evaluates only this process's shard of the grid (options.shard),
   /// appending completed cells to options.checkpoint_path (required) and
   /// resuming from it when it already exists. Returns the number of cells
-  /// freshly evaluated (0 when the shard was already complete). The full
-  /// campaign result is recovered by merge_checkpoints() /
-  /// tools/gridsub_campaign_merge once every shard has run.
+  /// freshly evaluated (0 when the shard was already complete). When
+  /// `sink` is non-null it receives the shard's cells (resumed and fresh)
+  /// in ascending flat order. The full campaign result is recovered by
+  /// merge_checkpoints() / tools/gridsub_campaign_merge once every shard
+  /// has run.
   std::size_t run_shard(const CampaignAxes& axes,
-                        const CellEvaluator& evaluate) const;
+                        const CellEvaluator& evaluate,
+                        CampaignSink* sink = nullptr) const;
 
  private:
   CampaignOptions options_;

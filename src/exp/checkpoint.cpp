@@ -1,265 +1,41 @@
 #include "exp/checkpoint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
-#include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <limits>
 #include <ostream>
-#include <sstream>
 #include <utility>
 
+#include "exp/json_parse.hpp"
 #include "exp/json_util.hpp"
 
 namespace gridsub::exp {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// A strict parser for the subset of JSON the checkpoint writer emits:
-// objects, arrays, strings, and numbers (null stands in for non-finite
-// metric values, mirroring json_util.hpp's writer). Checkpoints are a
-// machine format written and read only by gridsub, so any deviation is
-// treated as corruption and reported with byte offsets.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kObject, kArray, kString, kNumber, kNull };
-  Kind kind = Kind::kNull;
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-  std::string string;
-  double number = 0.0;          // every number, parsed as double
-  std::uint64_t integer = 0;    // exact value when is_integer
-  bool is_integer = false;
-};
-
-class JsonParser {
- public:
-  JsonParser(std::string_view text, const std::string& origin)
-      : text_(text), origin_(origin) {}
-
-  /// Parses exactly one value followed by nothing but whitespace.
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing bytes after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw CheckpointError(origin_ + ": " + what + " (byte " +
-                          std::to_string(pos_) + ")");
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
-    }
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 'n': return null_value();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue key = string_value();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key.string), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    expect('"');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.string.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': v.string.push_back('"'); break;
-        case '\\': v.string.push_back('\\'); break;
-        case 'n': v.string.push_back('\n'); break;
-        case 't': v.string.push_back('\t'); break;
-        case 'r': v.string.push_back('\r'); break;
-        case 'u': {
-          // The writer only emits \u00xx for control bytes.
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          const auto* first = text_.data() + pos_;
-          const auto r = std::from_chars(first, first + 4, code, 16);
-          if (r.ptr != first + 4 || code > 0xFF) fail("bad \\u escape");
-          pos_ += 4;
-          v.string.push_back(static_cast<char>(code));
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue null_value() {
-    if (text_.substr(pos_, 4) != "null") fail("bad literal");
-    pos_ += 4;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNull;
-    v.number = std::numeric_limits<double>::quiet_NaN();
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a number");
-    const char* first = text_.data() + start;
-    const char* last = text_.data() + pos_;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    const auto rd = std::from_chars(first, last, v.number);
-    if (rd.ec != std::errc() || rd.ptr != last) fail("malformed number");
-    // Plain digit runs also carry the exact 64-bit value (flat indices,
-    // seeds) that a double would truncate.
-    const auto ri = std::from_chars(first, last, v.integer);
-    v.is_integer = ri.ec == std::errc() && ri.ptr == last;
-    return v;
-  }
-
-  std::string_view text_;
-  std::string origin_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Typed accessors over the parsed DOM, each failing with a named key so
-// corrupt checkpoints report what is wrong, not just where.
-// ---------------------------------------------------------------------------
-
-const JsonValue& get_key(const JsonValue& obj, const std::string& key,
-                         const std::string& origin) {
-  for (const auto& [k, v] : obj.object) {
-    if (k == key) return v;
-  }
-  throw CheckpointError(origin + ": missing key \"" + key + "\"");
-}
-
-const std::string& get_string(const JsonValue& obj, const std::string& key,
-                              const std::string& origin) {
-  const JsonValue& v = get_key(obj, key, origin);
-  if (v.kind != JsonValue::Kind::kString) {
-    throw CheckpointError(origin + ": key \"" + key + "\" is not a string");
-  }
-  return v.string;
-}
-
-std::uint64_t get_uint(const JsonValue& obj, const std::string& key,
-                       const std::string& origin) {
-  const JsonValue& v = get_key(obj, key, origin);
-  if (v.kind != JsonValue::Kind::kNumber || !v.is_integer) {
-    throw CheckpointError(origin + ": key \"" + key +
-                          "\" is not an unsigned integer");
-  }
-  return v.integer;
-}
-
-std::vector<std::string> get_string_array(const JsonValue& obj,
-                                          const std::string& key,
-                                          const std::string& origin) {
-  const JsonValue& v = get_key(obj, key, origin);
-  if (v.kind != JsonValue::Kind::kArray) {
-    throw CheckpointError(origin + ": key \"" + key + "\" is not an array");
-  }
-  std::vector<std::string> out;
-  out.reserve(v.array.size());
-  for (const JsonValue& e : v.array) {
-    if (e.kind != JsonValue::Kind::kString) {
-      throw CheckpointError(origin + ": key \"" + key +
-                            "\" holds a non-string element");
-    }
-    out.push_back(e.string);
-  }
-  return out;
-}
+using detail::get_key;
+using detail::get_string;
+using detail::get_string_array;
+using detail::get_uint;
+using detail::JsonParser;
+using detail::JsonValue;
 
 constexpr std::string_view kSchema = "gridsub-checkpoint-v1";
 
-// Duplicate records must agree bit-for-bit, which operator== on doubles
-// cannot express (NaN metrics — written as null, parsed back as NaN —
-// would make identical records look like conflicts).
-bool same_metric_values(const CellMetrics& a, const CellMetrics& b) {
+}  // namespace
+
+bool same_campaign(const CampaignAxes& a, const CampaignAxes& b) {
+  return a.name == b.name && a.scenario_axis == b.scenario_axis &&
+         a.strategy_axis == b.strategy_axis &&
+         a.scenario_labels == b.scenario_labels &&
+         a.strategy_labels == b.strategy_labels &&
+         a.replications == b.replications && a.root_seed == b.root_seed;
+}
+
+bool same_cell_metrics(const CellMetrics& a, const CellMetrics& b) {
+  // Duplicate records must agree bit-for-bit, which operator== on doubles
+  // cannot express (NaN metrics — written as null, parsed back as NaN —
+  // would make identical records look like conflicts).
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].first != b[i].first ||
@@ -270,18 +46,19 @@ bool same_metric_values(const CellMetrics& a, const CellMetrics& b) {
   return true;
 }
 
-void parse_header(const std::string& line, const std::string& origin,
-                  CampaignCheckpoint& out) {
-  const JsonValue v = JsonParser(line, origin + " header").parse();
+CheckpointHeader parse_checkpoint_header(const std::string& line,
+                                         const std::string& origin) {
+  const std::string where = origin + " header";
+  const JsonValue v = JsonParser(line, where).parse();
   if (v.kind != JsonValue::Kind::kObject) {
     throw CheckpointError(origin + ": header is not an object");
   }
-  const std::string where = origin + " header";
   if (get_string(v, "schema", where) != kSchema) {
     throw CheckpointError(where + ": unknown schema \"" +
                           get_string(v, "schema", where) + "\" (expected " +
                           std::string(kSchema) + ")");
   }
+  CheckpointHeader out;
   out.axes.name = get_string(v, "name", where);
   out.axes.scenario_axis = get_string(v, "scenario_axis", where);
   out.axes.strategy_axis = get_string(v, "strategy_axis", where);
@@ -300,10 +77,12 @@ void parse_header(const std::string& line, const std::string& origin,
   } catch (const std::invalid_argument& e) {
     throw CheckpointError(where + ": " + e.what());
   }
+  return out;
 }
 
-CellResult parse_record(const std::string& line, const std::string& origin,
-                        const CampaignAxes& axes) {
+CellResult parse_checkpoint_record(const std::string& line,
+                                   const std::string& origin,
+                                   const CampaignAxes& axes) {
   const JsonValue v = JsonParser(line, origin).parse();
   if (v.kind != JsonValue::Kind::kObject) {
     throw CheckpointError(origin + ": record is not an object");
@@ -338,16 +117,6 @@ CellResult parse_record(const std::string& line, const std::string& origin,
     cell.metrics.emplace_back(name, value.number);
   }
   return cell;
-}
-
-}  // namespace
-
-bool same_campaign(const CampaignAxes& a, const CampaignAxes& b) {
-  return a.name == b.name && a.scenario_axis == b.scenario_axis &&
-         a.strategy_axis == b.strategy_axis &&
-         a.scenario_labels == b.scenario_labels &&
-         a.strategy_labels == b.strategy_labels &&
-         a.replications == b.replications && a.root_seed == b.root_seed;
 }
 
 void write_checkpoint_header(std::ostream& os, const CampaignAxes& axes,
@@ -409,16 +178,19 @@ CampaignCheckpoint parse_checkpoint(std::string_view content,
   if (lines.empty()) {
     throw CheckpointError(origin + ": missing checkpoint header");
   }
-  parse_header(lines.front(), origin, out);
+  const CheckpointHeader header = parse_checkpoint_header(lines.front(),
+                                                          origin);
+  out.axes = header.axes;
+  out.shard = header.shard;
 
   std::vector<CellResult> by_flat(out.axes.cell_count());
   std::vector<bool> have(out.axes.cell_count(), false);
   const auto add_record = [&](const std::string& line, std::size_t lineno) {
     const std::string where = origin + ":" + std::to_string(lineno);
-    CellResult cell = parse_record(line, where, out.axes);
+    CellResult cell = parse_checkpoint_record(line, where, out.axes);
     const std::size_t flat = cell.context.flat;
     if (have[flat]) {
-      if (!same_metric_values(by_flat[flat].metrics, cell.metrics)) {
+      if (!same_cell_metrics(by_flat[flat].metrics, cell.metrics)) {
         throw CheckpointError(where + ": conflicting duplicate record for "
                               "cell " + std::to_string(flat));
       }
@@ -489,7 +261,7 @@ CampaignResult merge_checkpoints(std::vector<CampaignCheckpoint> shards) {
     for (CellResult& cell : shard.cells) {
       const std::size_t flat = cell.context.flat;
       if (have[flat]) {
-        if (!same_metric_values(cells[flat].metrics, cell.metrics)) {
+        if (!same_cell_metrics(cells[flat].metrics, cell.metrics)) {
           throw CheckpointError(
               "merge_checkpoints: shards disagree on cell " +
               std::to_string(flat) + " of campaign '" + axes.name + "'");

@@ -75,6 +75,31 @@ struct CampaignCheckpoint {
 /// resume or merge must verify before trusting recorded cells.
 [[nodiscard]] bool same_campaign(const CampaignAxes& a, const CampaignAxes& b);
 
+/// The identity a checkpoint's first line binds the file to.
+struct CheckpointHeader {
+  CampaignAxes axes;
+  CampaignShard shard;
+};
+
+/// Parses one header line (no trailing newline). Exposed so streaming
+/// readers (tools/gridsub_campaign_merge, exp/stage.cpp) can process
+/// checkpoint files line-by-line in O(window) memory instead of
+/// materializing them. Throws CheckpointError on anything malformed.
+[[nodiscard]] CheckpointHeader parse_checkpoint_header(
+    const std::string& line, const std::string& origin = "<memory>");
+
+/// Parses one record line (no trailing newline) against the campaign the
+/// header announced, verifying the flat index is in range and the
+/// recorded seed reproduces from the axes. Throws CheckpointError.
+[[nodiscard]] CellResult parse_checkpoint_record(const std::string& line,
+                                                 const std::string& origin,
+                                                 const CampaignAxes& axes);
+
+/// Bit-exact metric equality (names, order, and double bit patterns —
+/// NaN-safe, unlike operator==): the test duplicate records must pass.
+[[nodiscard]] bool same_cell_metrics(const CellMetrics& a,
+                                     const CellMetrics& b);
+
 /// Writes the header line binding a checkpoint file to (axes, shard).
 void write_checkpoint_header(std::ostream& os, const CampaignAxes& axes,
                              const CampaignShard& shard = {});

@@ -1,0 +1,72 @@
+#pragma once
+
+// Stage-output checkpointing for multi-stage campaigns.
+//
+// Staged benches (crossweek replay, Table 6 cross-week transfer) run a
+// fit/tune campaign whose *outputs* parameterize later campaigns. Cell
+// checkpoints (exp/checkpoint.hpp) already make each campaign kill-safe,
+// but a fit stage used to live only in process memory: every shard of a
+// multi-process run recomputed it, and a kill between stages lost it.
+//
+// run_stage() closes that gap with a two-file scheme in a shared
+// directory:
+//
+//   <name>.stage.ckpt — the ordinary cell checkpoint of the in-progress
+//            stage campaign: a kill mid-stage resumes cell-by-cell;
+//   <name>.stage      — the finished stage output, written to a temp file
+//            and atomically renamed. Line 1 binds the stage name and an
+//            upstream-identity string (whatever inputs the stage was
+//            computed from); the rest is a complete campaign checkpoint,
+//            so metric doubles round-trip exactly and a reloaded stage
+//            reproduces byte-identical downstream results.
+//
+// A later run — or a sibling shard sharing the directory — loads the
+// .stage file instead of recomputing. A stage whose recorded identity or
+// axes no longer match is stale (the upstream inputs changed): it is
+// discarded and recomputed, loudly. Corrupt stage files raise
+// CheckpointError; they cannot be kill artifacts, because the rename is
+// atomic.
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "exp/campaign.hpp"
+
+namespace gridsub::exp {
+
+struct StageOptions {
+  /// Directory holding .stage/.stage.ckpt files. Empty: run in-memory
+  /// with no persistence (single-process, no resume).
+  std::string dir;
+  /// Pool for the stage campaign; nullptr uses par::ThreadPool::shared().
+  par::ThreadPool* pool = nullptr;
+  /// Progress passthrough to the stage campaign.
+  std::function<void(const CampaignProgress&)> on_progress;
+  /// Stream for "[stage] ..." load/evaluate messages; nullptr is quiet.
+  std::ostream* log = nullptr;
+};
+
+struct StageResult {
+  CampaignResult result;
+  bool loaded = false;     ///< true when served from the .stage file
+  std::size_t fresh = 0;   ///< cells evaluated in this process
+};
+
+/// Runs (or loads) one stage campaign over the full grid. `identity`
+/// names the upstream inputs the stage outputs depend on (dataset names,
+/// parameter revisions, ...); it is bound into the stage header and
+/// checked on load, so a stage computed from different inputs is
+/// recomputed instead of silently reused. Evaluators must be pure in the
+/// cell context — everything downstream consumes travels in the metrics.
+[[nodiscard]] StageResult run_stage(const CampaignAxes& axes,
+                                    const CellEvaluator& evaluate,
+                                    const std::string& identity,
+                                    const StageOptions& options = {});
+
+/// The .stage path run_stage() uses for a campaign name.
+[[nodiscard]] std::string stage_path(const std::string& dir,
+                                     const std::string& name);
+
+}  // namespace gridsub::exp

@@ -141,15 +141,25 @@ TEST(CampaignRunner, CellExceptionsPropagateAfterAllCellsSettle) {
   EXPECT_EQ(evaluated.load(), 8);  // no cell was abandoned mid-flight
 }
 
-TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
+TEST(CampaignRunner, ProgressSnapshotsAreMonotoneAndComplete) {
   const CampaignAxes axes = small_axes(2, 3, 2);
-  std::set<std::size_t> seen;
+  std::vector<CampaignProgress> snapshots;
   CampaignOptions options;
-  options.on_cell = [&seen](const CellResult& r) {
-    seen.insert(r.context.flat);
+  options.on_progress = [&snapshots](const CampaignProgress& p) {
+    snapshots.push_back(p);
   };
   (void)CampaignRunner(options).run(axes, analytic_cell);
-  EXPECT_EQ(seen.size(), axes.cell_count());
+  // Baseline snapshot plus one per fresh cell; completed never regresses
+  // and ends at total.
+  ASSERT_EQ(snapshots.size(), axes.cell_count() + 1);
+  EXPECT_EQ(snapshots.front().completed, 0u);
+  EXPECT_EQ(snapshots.front().fresh, 0u);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].completed, i);
+    EXPECT_EQ(snapshots[i].total, axes.cell_count());
+    EXPECT_EQ(snapshots[i].shard.count, 1u);
+  }
+  EXPECT_EQ(snapshots.back().completed, axes.cell_count());
 }
 
 TEST(CampaignResult, SummaryTableHasOneRowPerGroup) {
