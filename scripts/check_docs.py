@@ -11,12 +11,24 @@ Checks README.md, ROADMAP.md, and docs/**/*.md:
   * code fences are balanced;
   * no trailing whitespace.
 
+Also cross-checks the determinism-lint waivers: every
+`gridsub-lint: allow(<rule>)` in src/, tools/, and tests/ must name a
+rule that exists in scripts/lint_determinism.py's rule table, so a
+renamed or retired rule cannot leave stale allows behind.  (The linter
+itself flags unknown allows, but only inside the directories it scans;
+this sweep covers the whole tree.)
+
 Exit code 1 with a file:line report on any violation.
 """
 
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_determinism import EXTENSIONS, RULES  # noqa: E402
+
+ALLOW_NAME_RE = re.compile(r"gridsub-lint:\s*allow(?:-file)?\(\s*([\w-]+)\s*\)")
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
@@ -89,6 +101,31 @@ def check_file(repo_root, path, errors):
                         f"in {os.path.relpath(dest, repo_root)}")
 
 
+def check_lint_allows(repo_root, errors):
+    """Flag allow() directives naming rules the linter no longer has."""
+    fixture_dir = os.path.join(repo_root, "tests", "lint_fixtures")
+    for top in ("src", "tools", "tests"):
+        root = os.path.join(repo_root, top)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _dirnames, files in os.walk(root):
+            if os.path.abspath(dirpath).startswith(fixture_dir):
+                continue  # fixtures contain intentionally-broken allows
+            for name in sorted(files):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as fh:
+                    for lineno, line in enumerate(fh, 1):
+                        for rule in ALLOW_NAME_RE.findall(line):
+                            if rule not in RULES:
+                                errors.append(
+                                    f"{os.path.relpath(path, repo_root)}"
+                                    f":{lineno}: stale allow — rule "
+                                    f"'{rule}' is not in "
+                                    "lint_determinism.py's rule table")
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     targets = [os.path.join(repo_root, "README.md"),
@@ -105,6 +142,7 @@ def main():
             errors.append(f"{path}: missing")
             continue
         check_file(repo_root, path, errors)
+    check_lint_allows(repo_root, errors)
 
     for error in errors:
         print(f"[docs] {error}", file=sys.stderr)

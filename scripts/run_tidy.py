@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""clang-tidy runner with a ratchet (no external deps).
+
+Runs clang-tidy (configuration: the project .clang-tidy) over every
+project source in compile_commands.json and compares the findings
+against the committed baseline scripts/tidy_ratchet.json:
+
+  * a finding absent from the baseline — or a (file, check) count above
+    its baseline — FAILS the run.  Fix it or waive the single line with
+    `NOLINT(check-name)` plus a reason comment; blanket NOLINTs without
+    a check name should not pass review.
+  * counts below baseline are reported as improvements; run with
+    --update-ratchet to lock them in so they cannot regress back.
+
+The ratchet direction is one-way by construction: CI never auto-writes
+the baseline, so the only way counts go up is a reviewed commit that
+edits tidy_ratchet.json.
+
+Exit codes: 0 clean/improved, 1 regressions, 2 usage error,
+3 clang-tidy or compile_commands.json not found.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RATCHET_PATH = os.path.join(REPO, "scripts", "tidy_ratchet.json")
+PROJECT_DIRS = ("src", "tools", "tests")
+
+# `path:line:col: warning: message [check-name(,check-name)*]`
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+"
+    r"\[(?P<checks>[\w.,-]+)\]$", re.MULTILINE)
+
+
+def find_clang_tidy(explicit):
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("CLANG_TIDY"):
+        candidates.append(os.environ["CLANG_TIDY"])
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(21, 13, -1))
+    for c in candidates:
+        path = shutil.which(c)
+        if path:
+            return path
+    return None
+
+
+def project_sources(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        return None, db_path
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    prefixes = tuple(os.path.join(REPO, d) + os.sep for d in PROJECT_DIRS)
+    files = sorted({os.path.abspath(e["file"]) for e in db
+                    if os.path.abspath(e["file"]).startswith(prefixes)})
+    return files, db_path
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", source],
+        capture_output=True, text=True, check=False)
+    return source, proc.stdout
+
+
+def collect_findings(clang_tidy, build_dir, sources, jobs):
+    counts = {}   # relpath -> {check -> count}
+    samples = {}  # (relpath, check) -> first "file:line: message"
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        results = pool.map(
+            lambda s: run_one(clang_tidy, build_dir, s), sources)
+        for source, output in results:
+            for m in FINDING_RE.finditer(output):
+                path = os.path.abspath(m.group("path"))
+                if not path.startswith(REPO + os.sep):
+                    continue  # findings inside GTest / system headers
+                rel = os.path.relpath(path, REPO)
+                for check in m.group("checks").split(","):
+                    counts.setdefault(rel, {})
+                    counts[rel][check] = counts[rel].get(check, 0) + 1
+                    samples.setdefault(
+                        (rel, check),
+                        f"{rel}:{m.group('line')}: {m.group('message')}")
+            del source
+    return counts, samples
+
+
+def load_ratchet():
+    if not os.path.isfile(RATCHET_PATH):
+        return {}
+    with open(RATCHET_PATH, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return data.get("findings", {})
+
+
+def write_ratchet(counts):
+    data = {
+        "comment": "clang-tidy baseline; maintained by scripts/run_tidy.py "
+                   "--update-ratchet. Counts may only go down.",
+        "findings": {f: dict(sorted(c.items()))
+                     for f, c in sorted(counts.items())},
+    }
+    with open(RATCHET_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def diff(baseline, counts):
+    regressions, improvements = [], []
+    files = set(baseline) | set(counts)
+    for f in sorted(files):
+        checks = set(baseline.get(f, {})) | set(counts.get(f, {}))
+        for check in sorted(checks):
+            old = baseline.get(f, {}).get(check, 0)
+            new = counts.get(f, {}).get(check, 0)
+            if new > old:
+                regressions.append((f, check, old, new))
+            elif new < old:
+                improvements.append((f, check, old, new))
+    return regressions, improvements
+
+
+def write_summary(path, sources, regressions, improvements, samples):
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("## clang-tidy ratchet\n\n")
+        fh.write(f"Scanned {len(sources)} project sources.\n\n")
+        if regressions:
+            fh.write("### New findings (build failed)\n\n")
+            fh.write("| file | check | baseline | now | example |\n")
+            fh.write("|---|---|---:|---:|---|\n")
+            for f, check, old, new in regressions:
+                example = samples.get((f, check), "")
+                fh.write(f"| `{f}` | `{check}` | {old} | {new} "
+                         f"| {example} |\n")
+        else:
+            fh.write("No findings above baseline.\n")
+        if improvements:
+            fh.write("\n### Improvements — lock in with "
+                     "`scripts/run_tidy.py --update-ratchet`\n\n")
+            for f, check, old, new in improvements:
+                fh.write(f"- `{f}` `{check}`: {old} → {new}\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run clang-tidy and gate on the committed ratchet.")
+    parser.add_argument("--build-dir", default=os.path.join(REPO, "build"),
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: $CLANG_TIDY, "
+                             "then PATH)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 1)),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--update-ratchet", action="store_true",
+                        help="rewrite scripts/tidy_ratchet.json with the "
+                             "current counts")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown report (e.g. "
+                             "$GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        print("run_tidy: no clang-tidy on PATH (set $CLANG_TIDY or "
+              "--clang-tidy); this gate runs in CI", file=sys.stderr)
+        return 3
+    sources, db_path = project_sources(args.build_dir)
+    if sources is None:
+        print(f"run_tidy: {db_path} not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the presets do)",
+              file=sys.stderr)
+        return 3
+    if not sources:
+        print("run_tidy: compile_commands.json lists no project sources",
+              file=sys.stderr)
+        return 2
+
+    counts, samples = collect_findings(
+        clang_tidy, args.build_dir, sources, args.jobs)
+
+    if args.update_ratchet:
+        write_ratchet(counts)
+        total = sum(sum(c.values()) for c in counts.values())
+        print(f"run_tidy: ratchet updated — {total} finding(s) across "
+              f"{len(counts)} file(s)")
+        return 0
+
+    baseline = load_ratchet()
+    regressions, improvements = diff(baseline, counts)
+    if args.summary:
+        write_summary(args.summary, sources, regressions, improvements,
+                      samples)
+
+    for f, check, old, new in regressions:
+        example = samples.get((f, check))
+        print(f"REGRESSION {f} [{check}]: {old} -> {new}"
+              + (f"\n    e.g. {example}" if example else ""))
+    for f, check, old, new in improvements:
+        print(f"improved   {f} [{check}]: {old} -> {new}")
+
+    if regressions:
+        print(f"\nrun_tidy: {len(regressions)} (file, check) pair(s) above "
+              "baseline — fix, or NOLINT(check) single lines with a reason")
+        return 1
+    if improvements:
+        print("\nrun_tidy: below baseline — lock in with --update-ratchet")
+    print(f"run_tidy: {len(sources)} file(s) at or below baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

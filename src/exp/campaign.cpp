@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <filesystem>
 #include <fstream>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "core/thread_annotations.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/fold.hpp"
 #include "stats/rng.hpp"
@@ -225,210 +223,210 @@ ResumeState resume_from(const std::string& path, const CampaignAxes& axes,
 /// cannot deadlock: deliveries follow claim order, so the minimal
 /// in-flight claim always has every earlier claim already delivered and
 /// its own gate open.
-std::size_t run_cells(const CampaignOptions& options,
-                      const CampaignAxes& axes,
-                      const CellEvaluator& evaluate, ResumeState resume,
-                      CampaignSink* sink) {
-  const std::size_t n = axes.cell_count();
-  const CampaignShard shard = options.shard;
+///
+/// Lock discipline (compiler-checked through the GRIDSUB_GUARDED_BY
+/// annotations): every field of the reorder/delivery state is guarded by
+/// `mu_`; checkpoint appends go through CheckpointWriter's own internal
+/// lock *outside* `mu_`, so the two mutexes never nest. Everything not
+/// annotated is either immutable after construction (owned_, pending_,
+/// resume_.have, window_) or touched only before workers start / after
+/// they join.
+class CellStream {
+ public:
+  CellStream(const CampaignOptions& options, const CampaignAxes& axes,
+             const CellEvaluator& evaluate, ResumeState resume,
+             CampaignSink* sink)
+      : options_(options),
+        axes_(axes),
+        evaluate_(evaluate),
+        resume_(std::move(resume)),
+        sink_(sink),
+        shard_(options.shard),
+        pool_(options.pool != nullptr ? *options.pool
+                                      : par::ThreadPool::shared()) {
+    if (!options_.checkpoint_path.empty()) {
+      CheckpointWriter::Resume tail;
+      tail.fresh = resume_.fresh;
+      tail.valid_bytes = resume_.valid_bytes;
+      tail.missing_final_newline = resume_.missing_final_newline;
+      writer_.emplace(options_.checkpoint_path, axes_, shard_, tail);
+    }
 
-  std::ofstream checkpoint;
-  if (!options.checkpoint_path.empty()) {
-    // Repair any kill artifact before appending: cut a dropped partial
-    // tail — or a clipped first header write, where valid_bytes is 0 —
-    // so it cannot glue onto new content and garble the file, and
-    // terminate a kept whole-JSON tail whose newline was clipped.
-    std::error_code ec;
-    if (std::filesystem::exists(options.checkpoint_path, ec) && !ec) {
-      std::filesystem::resize_file(options.checkpoint_path,
-                                   resume.valid_bytes, ec);
-      if (ec) {
-        throw CheckpointError("cannot truncate checkpoint file '" +
-                              options.checkpoint_path +
-                              "' to its valid prefix: " + ec.message());
+    // Owned cells in ascending flat order; the not-yet-done subset is
+    // the claim list workers race down.
+    for (std::size_t flat = 0; flat < axes_.cell_count(); ++flat) {
+      if (!shard_.owns(flat)) continue;
+      owned_.push_back(flat);
+      if (!resume_.have[flat]) pending_.push_back(flat);
+    }
+    resumed_count_ = owned_.size() - pending_.size();
+    window_ = options_.reorder_window > 0
+                  ? options_.reorder_window
+                  : std::max<std::size_t>(16, 2 * pool_.thread_count());
+    // Claim k's completion parks in ring_[k % ring_.size()] until
+    // drained; the gate keeps at most `window_` claims undelivered, so a
+    // window-sized ring can never collide.
+    ring_.resize(std::max<std::size_t>(
+        1, std::min(window_, pending_.size())));
+  }
+
+  /// Runs the stream to completion; returns the number of cells freshly
+  /// evaluated. Rethrows the lowest-claim worker error after all cells
+  /// have settled.
+  std::size_t run() {
+    if (sink_ != nullptr) sink_->begin(axes_);
+
+    {
+      // Baseline: deliver the restored prefix (everything, on a fully
+      // resumed run) and let a resume-aware ETA start from `completed`.
+      const core::MutexLock lock(mu_);
+      report_progress();
+      try {
+        drain();
+      } catch (...) {
+        record_error(0);
       }
     }
-    checkpoint.open(options.checkpoint_path,
-                    std::ios::binary | std::ios::app);
-    if (!checkpoint) {
-      throw CheckpointError("cannot open checkpoint file '" +
-                            options.checkpoint_path + "' for writing");
+
+    const std::size_t workers =
+        std::min(std::max<std::size_t>(1, pool_.thread_count()),
+                 pending_.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      futures.push_back(pool_.submit([this] { worker(); }));
     }
-    if (resume.fresh) {
-      write_checkpoint_header(checkpoint, axes, shard);
-      checkpoint.flush();
-    } else if (resume.missing_final_newline) {
-      checkpoint << '\n';
-      checkpoint.flush();
-    }
-    if (!checkpoint) {
-      throw CheckpointError("cannot write checkpoint header to '" +
-                            options.checkpoint_path + "'");
-    }
-  }
+    for (auto& f : futures) f.get();  // workers swallow their own errors
 
-  // Owned cells in ascending flat order; the not-yet-done subset is the
-  // claim list workers race down.
-  std::vector<std::size_t> owned;
-  std::vector<std::size_t> pending;
-  for (std::size_t flat = 0; flat < n; ++flat) {
-    if (!shard.owns(flat)) continue;
-    owned.push_back(flat);
-    if (!resume.have[flat]) pending.push_back(flat);
-  }
-  const std::size_t resumed_count = owned.size() - pending.size();
-
-  par::ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : par::ThreadPool::shared();
-  const std::size_t window =
-      options.reorder_window > 0
-          ? options.reorder_window
-          : std::max<std::size_t>(16, 2 * pool.thread_count());
-
-  if (sink != nullptr) sink->begin(axes);
-
-  std::mutex mu;
-  std::condition_variable gate;
-  std::atomic<std::size_t> next_claim{0};
-  // Claim k's completion parks in ring[k % ring.size()] until drained;
-  // the gate keeps at most `window` claims undelivered, so a window-sized
-  // ring can never collide.
-  std::vector<std::optional<CellResult>> ring(
-      std::max<std::size_t>(1, std::min(window, pending.size())));
-  std::size_t drained_fresh = 0;  // fresh claims delivered, in claim order
-  std::size_t deliver_pos = 0;    // next owned[] entry to deliver
-  std::size_t fresh_done = 0;     // fresh cells completed, any order
-  bool aborted = false;
-  std::exception_ptr first_error;
-  std::size_t first_error_claim = 0;
-
-  const auto record_error = [&](std::size_t claim) {
-    // Keep the lowest-claim error: deterministic choice among racers.
-    if (!first_error || claim < first_error_claim) {
-      first_error = std::current_exception();
-      first_error_claim = claim;
-    }
-    aborted = true;
-  };
-
-  // Requires mu held. Delivers every cell that is ready, in flat order:
-  // restored cells immediately, fresh ones as their ring slot fills.
-  const auto drain = [&] {
-    while (deliver_pos < owned.size()) {
-      const std::size_t flat = owned[deliver_pos];
-      CellResult cell;
-      if (resume.have[flat]) {
-        cell.context = axes.cell(flat);
-        cell.metrics = std::move(resume.metrics[flat]);
-      } else {
-        std::optional<CellResult>& slot =
-            ring[drained_fresh % ring.size()];
-        if (!slot.has_value()) break;  // next fresh cell still in flight
-        cell = std::move(*slot);
-        slot.reset();
-        ++drained_fresh;
-        gate.notify_all();
+    {
+      const core::MutexLock lock(mu_);
+      if (first_error_) std::rethrow_exception(first_error_);
+      if (deliver_pos_ != owned_.size()) {
+        throw std::logic_error(
+            "CampaignRunner: drained " + std::to_string(deliver_pos_) +
+            " of " + std::to_string(owned_.size()) +
+            " cells with no error");
       }
-      if (sink != nullptr) sink->on_cell(cell);
-      ++deliver_pos;
     }
-  };
-
-  const auto report_progress = [&] {
-    if (!options.on_progress) return;
-    CampaignProgress p;
-    p.completed = resumed_count + fresh_done;
-    p.total = owned.size();
-    p.fresh = fresh_done;
-    p.shard = shard;
-    options.on_progress(p);
-  };
-
-  {
-    // Baseline: deliver the restored prefix (everything, on a fully
-    // resumed run) and let a resume-aware ETA start from `completed`.
-    const std::lock_guard lock(mu);
-    report_progress();
-    try {
-      drain();
-    } catch (...) {
-      record_error(0);
-    }
+    if (sink_ != nullptr) sink_->end();
+    return pending_.size();
   }
 
-  const auto worker = [&] {
+ private:
+  void worker() {
     while (true) {
       const std::size_t claim =
-          next_claim.fetch_add(1, std::memory_order_relaxed);
-      if (claim >= pending.size()) return;
+          next_claim_.fetch_add(1, std::memory_order_relaxed);
+      if (claim >= pending_.size()) return;
       {
-        std::unique_lock lock(mu);
-        gate.wait(lock, [&] {
-          return aborted || claim < drained_fresh + window;
+        core::MutexLock lock(mu_);
+        gate_.wait(mu_, [this, claim]() GRIDSUB_REQUIRES(mu_) {
+          return aborted_ || claim < drained_fresh_ + window_;
         });
       }
-      const std::size_t flat = pending[claim];
+      const std::size_t flat = pending_[claim];
       try {
         CellResult result;
-        result.context = axes.cell(flat);
-        result.metrics = evaluate(result.context);
-        const std::lock_guard lock(mu);
-        if (checkpoint.is_open()) {
-          // One write + flush per record: a kill can only clip the final
-          // line, which readers drop (see exp/checkpoint.hpp).
-          std::ostringstream line;
-          append_checkpoint_cell(line, result);
-          checkpoint << line.str();
-          checkpoint.flush();
-          if (!checkpoint) {
-            // ENOSPC/EIO: fail the run instead of silently completing
-            // with nothing persisted — the crash-safety promise is the
-            // whole point of the file.
-            throw CheckpointError("failed to append cell " +
-                                  std::to_string(flat) +
-                                  " to checkpoint '" +
-                                  options.checkpoint_path + "'");
-          }
-        }
-        ++fresh_done;
+        result.context = axes_.cell(flat);
+        result.metrics = evaluate_(result.context);
+        // Record first, outside the stream lock (the writer locks
+        // itself): a kill after this line leaves the cell persisted even
+        // if it was never delivered, which resume handles as a benign
+        // duplicate of work never re-done.
+        if (writer_.has_value()) writer_->append(result);
+        const core::MutexLock lock(mu_);
+        ++fresh_done_;
         report_progress();
-        if (!aborted) {
-          ring[claim % ring.size()] = std::move(result);
+        if (!aborted_) {
+          ring_[claim % ring_.size()] = std::move(result);
           drain();
         }
-        gate.notify_all();
+        gate_.notify_all();
       } catch (...) {
         // Evaluation, checkpoint-append, or sink failure: remember the
         // error, open every gate, and keep claiming — remaining cells
         // still evaluate (and checkpoint) so a rerun resumes close to
         // where this one failed.
-        const std::lock_guard lock(mu);
+        const core::MutexLock lock(mu_);
         record_error(claim);
-        gate.notify_all();
+        gate_.notify_all();
       }
     }
-  };
+  }
 
-  const std::size_t workers =
-      std::min(std::max<std::size_t>(1, pool.thread_count()),
-               pending.size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) futures.push_back(
-      pool.submit(worker));
-  for (auto& f : futures) f.get();  // workers swallow their own errors
-
-  {
-    const std::lock_guard lock(mu);
-    if (first_error) std::rethrow_exception(first_error);
-    if (deliver_pos != owned.size()) {
-      throw std::logic_error(
-          "CampaignRunner: drained " + std::to_string(deliver_pos) +
-          " of " + std::to_string(owned.size()) + " cells with no error");
+  /// Delivers every cell that is ready, in flat order: restored cells
+  /// immediately, fresh ones as their ring slot fills.
+  void drain() GRIDSUB_REQUIRES(mu_) {
+    while (deliver_pos_ < owned_.size()) {
+      const std::size_t flat = owned_[deliver_pos_];
+      CellResult cell;
+      if (resume_.have[flat]) {
+        cell.context = axes_.cell(flat);
+        cell.metrics = std::move(resume_.metrics[flat]);
+      } else {
+        std::optional<CellResult>& slot =
+            ring_[drained_fresh_ % ring_.size()];
+        if (!slot.has_value()) break;  // next fresh cell still in flight
+        cell = std::move(*slot);
+        slot.reset();
+        ++drained_fresh_;
+        gate_.notify_all();
+      }
+      if (sink_ != nullptr) sink_->on_cell(cell);
+      ++deliver_pos_;
     }
   }
-  if (sink != nullptr) sink->end();
-  return pending.size();
+
+  void record_error(std::size_t claim) GRIDSUB_REQUIRES(mu_) {
+    // Keep the lowest-claim error: deterministic choice among racers.
+    if (!first_error_ || claim < first_error_claim_) {
+      first_error_ = std::current_exception();
+      first_error_claim_ = claim;
+    }
+    aborted_ = true;
+  }
+
+  void report_progress() GRIDSUB_REQUIRES(mu_) {
+    if (!options_.on_progress) return;
+    CampaignProgress p;
+    p.completed = resumed_count_ + fresh_done_;
+    p.total = owned_.size();
+    p.fresh = fresh_done_;
+    p.shard = shard_;
+    options_.on_progress(p);
+  }
+
+  const CampaignOptions& options_;
+  const CampaignAxes& axes_;
+  const CellEvaluator& evaluate_;
+  ResumeState resume_;  ///< have[] immutable; metrics[] consumed in drain()
+  CampaignSink* sink_;
+  const CampaignShard shard_;
+  par::ThreadPool& pool_;
+  std::optional<CheckpointWriter> writer_;  ///< internally locked
+  std::vector<std::size_t> owned_;    ///< immutable once workers start
+  std::vector<std::size_t> pending_;  ///< immutable once workers start
+  std::size_t resumed_count_ = 0;
+  std::size_t window_ = 0;
+
+  core::Mutex mu_;
+  core::CondVar gate_;
+  std::atomic<std::size_t> next_claim_{0};
+  std::vector<std::optional<CellResult>> ring_ GRIDSUB_GUARDED_BY(mu_);
+  std::size_t drained_fresh_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::size_t deliver_pos_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::size_t fresh_done_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  bool aborted_ GRIDSUB_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GRIDSUB_GUARDED_BY(mu_);
+  std::size_t first_error_claim_ GRIDSUB_GUARDED_BY(mu_) = 0;
+};
+
+std::size_t run_cells(const CampaignOptions& options,
+                      const CampaignAxes& axes,
+                      const CellEvaluator& evaluate, ResumeState resume,
+                      CampaignSink* sink) {
+  CellStream stream(options, axes, evaluate, std::move(resume), sink);
+  return stream.run();
 }
 
 }  // namespace

@@ -242,9 +242,9 @@ class CampaignRunner {
   /// in ascending flat order. The full campaign result is recovered by
   /// merge_checkpoints() / tools/gridsub_campaign_merge once every shard
   /// has run.
-  std::size_t run_shard(const CampaignAxes& axes,
-                        const CellEvaluator& evaluate,
-                        CampaignSink* sink = nullptr) const;
+  [[nodiscard]] std::size_t run_shard(const CampaignAxes& axes,
+                                      const CellEvaluator& evaluate,
+                                      CampaignSink* sink = nullptr) const;
 
  private:
   CampaignOptions options_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "exp/json_parse.hpp"
@@ -155,6 +157,56 @@ void append_checkpoint_cell(std::ostream& os, const CellResult& cell) {
     detail::json_number(os, cell.metrics[m].second);
   }
   os << "}}\n";
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CampaignAxes& axes,
+                                   const CampaignShard& shard,
+                                   const Resume& resume)
+    : path_(path) {
+  // Repair any kill artifact before appending: cut a dropped partial
+  // tail — or a clipped first header write, where valid_bytes is 0 — so
+  // it cannot glue onto new content and garble the file.
+  std::error_code ec;
+  if (std::filesystem::exists(path_, ec) && !ec) {
+    std::filesystem::resize_file(path_, resume.valid_bytes, ec);
+    if (ec) {
+      throw CheckpointError("cannot truncate checkpoint file '" + path_ +
+                            "' to its valid prefix: " + ec.message());
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw CheckpointError("cannot open checkpoint file '" + path_ +
+                          "' for writing");
+  }
+  if (resume.fresh) {
+    write_checkpoint_header(out_, axes, shard);
+    out_.flush();
+  } else if (resume.missing_final_newline) {
+    out_ << '\n';
+    out_.flush();
+  }
+  if (!out_) {
+    throw CheckpointError("cannot write checkpoint header to '" + path_ +
+                          "'");
+  }
+}
+
+void CheckpointWriter::append(const CellResult& cell) {
+  // Serialize outside the lock; one write + flush per record under it, so
+  // a kill can only clip the final line (which readers drop).
+  std::ostringstream line;
+  append_checkpoint_cell(line, cell);
+  const std::string text = line.str();
+  const core::MutexLock lock(mu_);
+  out_ << text;
+  out_.flush();
+  if (!out_) {
+    throw CheckpointError("failed to append cell " +
+                          std::to_string(cell.context.flat) +
+                          " to checkpoint '" + path_ + "'");
+  }
 }
 
 CampaignCheckpoint parse_checkpoint(std::string_view content,

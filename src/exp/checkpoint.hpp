@@ -27,12 +27,14 @@
 // wrong results.
 
 #include <cstddef>
+#include <fstream>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "exp/campaign.hpp"
 
 namespace gridsub::exp {
@@ -103,6 +105,52 @@ struct CheckpointHeader {
 /// Writes the header line binding a checkpoint file to (axes, shard).
 void write_checkpoint_header(std::ostream& os, const CampaignAxes& axes,
                              const CampaignShard& shard = {});
+
+/// Thread-safe appender for one shard's checkpoint file — the write side
+/// of the crash model documented above, shared by every campaign worker.
+///
+/// Construction repairs any kill artifact before the first append: the
+/// file is truncated to its parsed-clean prefix (a dropped partial tail
+/// can never glue onto a new record), a fresh file gets the header line,
+/// and a kept whole-JSON tail whose newline was clipped is re-terminated.
+/// append() then serializes one record per completed cell and flushes it,
+/// so a kill can only ever clip the final line. Workers may append
+/// concurrently; the writer's own mutex orders the physical writes
+/// (record order carries no meaning — readers index records by cell).
+class CheckpointWriter {
+ public:
+  /// What a resuming run learned about the existing file (all defaults —
+  /// `fresh` — for a file that does not exist yet or is blank).
+  struct Resume {
+    /// No usable checkpoint content yet: write the header first.
+    bool fresh = true;
+    /// Bytes of the file that parsed cleanly; anything after is cut.
+    std::size_t valid_bytes = 0;
+    /// The kept prefix lacks its final newline; emit '\n' before the
+    /// first appended record.
+    bool missing_final_newline = false;
+  };
+
+  /// Opens `path` for appending after repairing the tail per `resume`.
+  /// Throws CheckpointError when the file cannot be truncated or opened,
+  /// or the header cannot be written.
+  CheckpointWriter(const std::string& path, const CampaignAxes& axes,
+                   const CampaignShard& shard, const Resume& resume);
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Appends one cell record and flushes it. Thread-safe. Throws
+  /// CheckpointError on write failure (ENOSPC/EIO): the run must fail
+  /// loudly instead of silently completing with nothing persisted —
+  /// crash-safety is the whole point of the file.
+  void append(const CellResult& cell) GRIDSUB_EXCLUDES(mu_);
+
+ private:
+  std::string path_;
+  core::Mutex mu_;
+  std::ofstream out_ GRIDSUB_GUARDED_BY(mu_);
+};
 
 /// Appends one completed cell as a single newline-terminated record.
 void append_checkpoint_cell(std::ostream& os, const CellResult& cell);

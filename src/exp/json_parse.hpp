@@ -40,7 +40,7 @@ class JsonParser {
       : text_(text), origin_(origin) {}
 
   /// Parses exactly one value followed by nothing but whitespace.
-  JsonValue parse() {
+  [[nodiscard]] JsonValue parse() {
     JsonValue v = value();
     skip_ws();
     if (pos_ != text_.size()) fail("trailing bytes after JSON value");
@@ -60,7 +60,7 @@ class JsonParser {
     }
   }
 
-  char peek() {
+  [[nodiscard]] char peek() const {
     if (pos_ >= text_.size()) fail("unexpected end of input");
     return text_[pos_];
   }
@@ -72,7 +72,7 @@ class JsonParser {
     ++pos_;
   }
 
-  JsonValue value() {
+  [[nodiscard]] JsonValue value() {
     skip_ws();
     switch (peek()) {
       case '{': return object();
@@ -83,7 +83,7 @@ class JsonParser {
     }
   }
 
-  JsonValue object() {
+  [[nodiscard]] JsonValue object() {
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
@@ -108,7 +108,7 @@ class JsonParser {
     }
   }
 
-  JsonValue array() {
+  [[nodiscard]] JsonValue array() {
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
@@ -129,7 +129,7 @@ class JsonParser {
     }
   }
 
-  JsonValue string_value() {
+  [[nodiscard]] JsonValue string_value() {
     expect('"');
     JsonValue v;
     v.kind = JsonValue::Kind::kString;
@@ -165,7 +165,7 @@ class JsonParser {
     }
   }
 
-  JsonValue null_value() {
+  [[nodiscard]] JsonValue null_value() {
     if (text_.substr(pos_, 4) != "null") fail("bad literal");
     pos_ += 4;
     JsonValue v;
@@ -174,7 +174,7 @@ class JsonParser {
     return v;
   }
 
-  JsonValue number() {
+  [[nodiscard]] JsonValue number() {
     const std::size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
@@ -206,17 +206,17 @@ class JsonParser {
 // corrupt files report what is wrong, not just where.
 // ---------------------------------------------------------------------------
 
-inline const JsonValue& get_key(const JsonValue& obj, const std::string& key,
-                                const std::string& origin) {
+[[nodiscard]] inline const JsonValue& get_key(const JsonValue& obj,
+                                              const std::string& key,
+                                              const std::string& origin) {
   for (const auto& [k, v] : obj.object) {
     if (k == key) return v;
   }
   throw CheckpointError(origin + ": missing key \"" + key + "\"");
 }
 
-inline const std::string& get_string(const JsonValue& obj,
-                                     const std::string& key,
-                                     const std::string& origin) {
+[[nodiscard]] inline const std::string& get_string(
+    const JsonValue& obj, const std::string& key, const std::string& origin) {
   const JsonValue& v = get_key(obj, key, origin);
   if (v.kind != JsonValue::Kind::kString) {
     throw CheckpointError(origin + ": key \"" + key + "\" is not a string");
@@ -224,8 +224,9 @@ inline const std::string& get_string(const JsonValue& obj,
   return v.string;
 }
 
-inline std::uint64_t get_uint(const JsonValue& obj, const std::string& key,
-                              const std::string& origin) {
+[[nodiscard]] inline std::uint64_t get_uint(const JsonValue& obj,
+                                            const std::string& key,
+                                            const std::string& origin) {
   const JsonValue& v = get_key(obj, key, origin);
   if (v.kind != JsonValue::Kind::kNumber || !v.is_integer) {
     throw CheckpointError(origin + ": key \"" + key +
@@ -234,9 +235,8 @@ inline std::uint64_t get_uint(const JsonValue& obj, const std::string& key,
   return v.integer;
 }
 
-inline std::vector<std::string> get_string_array(const JsonValue& obj,
-                                                 const std::string& key,
-                                                 const std::string& origin) {
+[[nodiscard]] inline std::vector<std::string> get_string_array(
+    const JsonValue& obj, const std::string& key, const std::string& origin) {
   const JsonValue& v = get_key(obj, key, origin);
   if (v.kind != JsonValue::Kind::kArray) {
     throw CheckpointError(origin + ": key \"" + key + "\" is not an array");

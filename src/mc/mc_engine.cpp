@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "numerics/kahan.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -58,6 +59,32 @@ struct alignas(kCacheLine) BlockSums {
   }
 };
 
+/// The shared per-block result table workers write finished blocks back
+/// to. Distinct blocks land in distinct slots, so the writes are already
+/// disjoint; the mutex exists to make the lock discipline checkable
+/// (GRIDSUB_GUARDED_BY) rather than implied — at one acquisition per
+/// kBlockSize replications its cost is unmeasurable. take() is called
+/// once, after the parallel_for join.
+class BlockBoard {
+ public:
+  explicit BlockBoard(std::size_t n_blocks) : sums_(n_blocks) {}
+
+  void store(std::size_t block, const BlockSums& sums)
+      GRIDSUB_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    sums_[block] = sums;
+  }
+
+  [[nodiscard]] std::vector<BlockSums> take() GRIDSUB_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    return std::move(sums_);
+  }
+
+ private:
+  core::Mutex mu_;
+  std::vector<BlockSums> sums_ GRIDSUB_GUARDED_BY(mu_);
+};
+
 template <typename RunFn>
 McResult run_blocks(const McOptions& options, RunFn&& run_one) {
   if (options.replications == 0) {
@@ -65,7 +92,7 @@ McResult run_blocks(const McOptions& options, RunFn&& run_one) {
   }
   const std::size_t n_blocks =
       (options.replications + kBlockSize - 1) / kBlockSize;
-  std::vector<BlockSums> sums(n_blocks);
+  BlockBoard board(n_blocks);
   par::parallel_for(
       0, static_cast<std::int64_t>(n_blocks),
       [&](std::int64_t block) {
@@ -83,10 +110,13 @@ McResult run_blocks(const McOptions& options, RunFn&& run_one) {
         for (std::size_t i = begin; i < end; ++i) {
           local.add(run_one(rng));
         }
-        sums[static_cast<std::size_t>(block)] = local;
+        board.store(static_cast<std::size_t>(block), local);
       },
       options.pool);
 
+  // Deterministic: partials fold in ascending block order regardless of
+  // which worker produced them when.
+  const std::vector<BlockSums> sums = board.take();
   numerics::KahanAccumulator j, j2, job_seconds, submissions, ratio;
   std::size_t count = 0;
   for (const auto& b : sums) {

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() GRIDSUB_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;

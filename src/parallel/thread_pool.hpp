@@ -8,15 +8,17 @@
 // for every bench row. The pool is exception-safe: tasks propagate
 // exceptions through their futures.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace gridsub::par {
 
@@ -40,7 +42,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit on stopped pool");
       }
@@ -59,10 +61,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  core::Mutex mutex_;
+  core::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GRIDSUB_GUARDED_BY(mutex_);
+  bool stopping_ GRIDSUB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gridsub::par

@@ -31,6 +31,7 @@ Table& Table::cell(const std::string& value) {
 Table& Table::cell(double value, int decimals) {
   char buf[64];
   if (std::isfinite(value)) {
+    // gridsub-lint: allow(printf-float) human table cell, not machine output
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   } else {
     std::snprintf(buf, sizeof(buf), "inf");
@@ -45,6 +46,7 @@ Table& Table::cell(long long value) {
 Table& Table::percent(double fraction, int decimals) {
   char buf[64];
   if (std::isfinite(fraction)) {
+    // gridsub-lint: allow(printf-float) human table cell, not machine output
     std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, 100.0 * fraction);
   } else {
     std::snprintf(buf, sizeof(buf), "n/a");
@@ -106,6 +108,7 @@ void Table::print_markdown(std::ostream& os) const {
 std::string seconds(double value) {
   if (!std::isfinite(value)) return "inf";
   char buf[64];
+  // gridsub-lint: allow(printf-float) whole-second console label
   std::snprintf(buf, sizeof(buf), "%.0fs", value);
   return buf;
 }

@@ -83,7 +83,7 @@ class SmallFn {
   /// heap). Exposed so the regression tests can pin the no-allocation
   /// guarantee for the simulation's hot capture sizes.
   template <typename F>
-  static constexpr bool stores_inline() {
+  [[nodiscard]] static constexpr bool stores_inline() {
     return fits_inline<std::remove_cvref_t<F>>();
   }
 
@@ -95,7 +95,7 @@ class SmallFn {
   };
 
   template <typename Fn>
-  static constexpr bool fits_inline() {
+  [[nodiscard]] static constexpr bool fits_inline() {
     return sizeof(Fn) <= kInlineSize &&
            alignof(Fn) <= alignof(std::max_align_t) &&
            std::is_nothrow_move_constructible_v<Fn>;

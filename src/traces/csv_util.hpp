@@ -4,9 +4,23 @@
 // One definition of the whitespace/CRLF tolerance rules, so the probe-trace
 // and workload formats cannot drift in what they accept.
 
+#include <charconv>
+#include <ostream>
 #include <string>
 
 namespace gridsub::traces::detail {
+
+/// Writes a double in shortest round-trip std::to_chars form:
+/// locale-independent, byte-identical for equal values, and re-parses to
+/// the same double. The CSV writers must use this instead of `os << v` —
+/// default ostream formatting truncates to 6 significant digits and
+/// follows the stream's imbued locale, both of which break the
+/// byte-determinism contract on written traces.
+inline void csv_number(std::ostream& os, double v) {
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, static_cast<std::streamsize>(r.ptr - buf));
+}
 
 /// Trims spaces, tabs, and CRs from both ends (CSV files written on
 /// Windows end lines with \r\n; getline leaves the \r on the last field).

@@ -1,7 +1,6 @@
 #include "traces/trace_io.hpp"
 
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,18 +35,20 @@ ProbeStatus parse_status(const std::string& s) {
 }  // namespace
 
 void write_csv(std::ostream& os, const Trace& trace) {
-  // Full round-trip precision (the 6-sig-fig default quantizes week-scale
-  // submit times).
-  const auto saved = os.precision(
-      std::numeric_limits<double>::max_digits10);
+  // csv_number writes shortest round-trip to_chars form: lossless (the
+  // 6-sig-fig ostream default quantizes week-scale submit times) and
+  // independent of any locale imbued on the stream.
   os << "# name=" << trace.name() << "\n";
-  os << "# timeout=" << trace.timeout() << "\n";
+  os << "# timeout=";
+  detail::csv_number(os, trace.timeout());
+  os << "\n";
   os << "submit_time,latency,status\n";
   for (const auto& r : trace.records()) {
-    os << r.submit_time << ',' << r.latency << ',' << status_label(r.status)
-       << '\n';
+    detail::csv_number(os, r.submit_time);
+    os << ',';
+    detail::csv_number(os, r.latency);
+    os << ',' << status_label(r.status) << '\n';
   }
-  os.precision(saved);
 }
 
 void write_csv_file(const std::string& path, const Trace& trace) {

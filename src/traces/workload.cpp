@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -101,19 +100,19 @@ WorkloadStats Workload::stats() const {
 }
 
 void write_workload_csv(std::ostream& os, const Workload& w) {
-  // Full round-trip precision: with the 6-sig-fig ostream default, a
-  // week-scale arrival like 604800.25 would collapse to '604800' and a
-  // month-scale one to '2.4192e+07' — silently quantizing the burst
-  // structure the replay subsystem exists to preserve.
-  const auto saved = os.precision(
-      std::numeric_limits<double>::max_digits10);
+  // csv_number writes shortest round-trip to_chars form. With the
+  // 6-sig-fig ostream default, a week-scale arrival like 604800.25 would
+  // collapse to '604800' and a month-scale one to '2.4192e+07' — silently
+  // quantizing the burst structure the replay subsystem exists to
+  // preserve — and stream formatting follows the imbued locale besides.
   os << "# name=" << w.name() << "\n";
   os << "arrival_time,runtime,user,group\n";
   for (const auto& j : w.jobs()) {
-    os << j.arrival << ',' << j.runtime << ',' << j.user << ',' << j.group
-       << '\n';
+    detail::csv_number(os, j.arrival);
+    os << ',';
+    detail::csv_number(os, j.runtime);
+    os << ',' << j.user << ',' << j.group << '\n';
   }
-  os.precision(saved);
 }
 
 void write_workload_csv_file(const std::string& path, const Workload& w) {

@@ -1,0 +1,27 @@
+// Fixture: the same violations as violations.cpp, every one waived with
+// a reasoned allow — the linter must exit 0 on this file.
+
+#include <cstdio>
+
+namespace fixture {
+
+void print_value(double v) {
+  std::printf("%.3f\n", v);  // gridsub-lint: allow(printf-float) fixture
+}
+
+void print_percent(double v) {
+  // gridsub-lint: allow(printf-float) fixture: directive-above form
+  std::printf("%+.1f%%\n", v);
+}
+
+int raw_seed() {
+  std::random_device rd;  // gridsub-lint: allow(raw-rand) fixture
+  return static_cast<int>(rd());
+}
+
+long stamp() {
+  // gridsub-lint: allow(wall-clock) fixture
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace fixture

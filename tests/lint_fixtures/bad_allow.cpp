@@ -1,0 +1,22 @@
+// Fixture: broken waivers.  Each directive here is itself an error —
+// an unknown rule name, an allow with no reason, a malformed directive,
+// and allows that suppress nothing.
+
+namespace fixture {
+
+// gridsub-lint: allow(made-up-rule) this rule does not exist
+int unknown_rule = 0;
+
+// gridsub-lint: allow(printf-float)
+int missing_reason = 0;
+
+// gridsub-lint: allowed(printf-float) wrong verb
+int malformed = 0;
+
+// gridsub-lint: allow(wall-clock) nothing on the next line uses the clock
+int unused_line_allow = 0;
+
+// gridsub-lint: allow-file(locale) no locale call anywhere in this file
+int unused_file_allow = 0;
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: determinism-safe code the linter must pass untouched,
+// including the look-alikes that trip naive regexes — rule names in
+// comments and format conversions in comments or identifiers.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// Keyed lookup into an unordered_map is fine; only iteration is flagged.
+double lookup(const std::unordered_map<int, double>& cells, int key) {
+  const auto it = cells.find(key);
+  return it == cells.end() ? 0.0 : it->second;
+}
+
+// A comment mentioning std::random_device or setprecision(12) is not a
+// finding, and neither is "%.3f" appearing in this comment.
+inline std::string printf_like_name() {
+  return "literal %% percent, no conversion";
+}
+
+// Identifiers containing rule-ish substrings: randomize, timestamp.
+int randomize_label(int timestamp) { return timestamp + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: one un-waived violation per determinism-lint rule.  This file
+// is never compiled — it exists so scripts/test_lint_determinism.py can
+// assert that every rule actually fires (and on the right line).
+
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+double fold_unordered() {
+  std::unordered_map<int, double> cells;
+  double sum = 0.0;
+  for (const auto& kv : cells) {  // unordered-container
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int raw_seed() {
+  std::random_device rd;  // raw-rand
+  return static_cast<int>(rd());
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // wall-clock
+}
+
+using ByAddress = std::map<int*, double>;  // pointer-key
+
+void print_stream(double v) {
+  // stream-float: setprecision reference lives in real code, not here.
+  (void)v;
+  std::setprecision(9);  // stream-float
+}
+
+void print_value(double v) {
+  std::printf("%.3f\n", v);  // printf-float
+}
+
+void pin_locale() {
+  setlocale(LC_ALL, "C");  // locale
+}
+
+}  // namespace fixture

@@ -1,0 +1,272 @@
+// Forced-contention stress suite for every concurrent layer — the
+// dynamic half of the correctness wall (docs/correctness.md).
+//
+// These tests are written to *collide*: many threads hammering the same
+// pool, a reorder window far smaller than the in-flight cell count,
+// checkpoint appends racing from every worker, and MC block write-backs
+// across an 8-wide pool. Under the tsan preset (cmake --preset tsan)
+// ThreadSanitizer checks every interleaving they reach; under the normal
+// presets they still assert the user-visible invariants (ascending
+// delivery order, byte-identical output, complete checkpoints,
+// bit-identical MC folds).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+#include "exp/campaign.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/fold.hpp"
+#include "mc/mc_engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace gridsub {
+namespace {
+
+// --------------------------------------------------------------------------
+// par::ThreadPool: concurrent submit + claim gating
+// --------------------------------------------------------------------------
+
+TEST(ConcurrencyStress, ThreadPoolConcurrentSubmitters) {
+  par::ThreadPool pool(4);
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kTasksEach = 64;
+
+  // GUARDED_BY is a member annotation, so the guarded counter lives in a
+  // small struct rather than as a bare local.
+  struct Counter {
+    core::Mutex mu;
+    std::size_t value GRIDSUB_GUARDED_BY(mu) = 0;
+  } counter;
+  std::atomic<std::size_t> atomic_count{0};
+
+  // Several external threads race ThreadPool::submit while the workers
+  // race the queue from the other side.
+  std::vector<std::thread> submitters;
+  std::vector<std::future<void>> futures[kSubmitters];
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (std::size_t t = 0; t < kTasksEach; ++t) {
+        futures[s].push_back(pool.submit([&] {
+          atomic_count.fetch_add(1, std::memory_order_relaxed);
+          const core::MutexLock lock(counter.mu);
+          ++counter.value;
+        }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) f.get();
+  }
+
+  EXPECT_EQ(atomic_count.load(), kSubmitters * kTasksEach);
+  const core::MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, kSubmitters * kTasksEach);
+}
+
+TEST(ConcurrencyStress, ThreadPoolDrainsQueueOnDestruction) {
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kTasks = 200;
+  {
+    par::ThreadPool pool(3);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      // Futures intentionally dropped: destruction must still run every
+      // queued task (the pool drains, then joins).
+      (void)pool.submit([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+// --------------------------------------------------------------------------
+// Campaign runner: reorder window + sink delivery under contention
+// --------------------------------------------------------------------------
+
+exp::CampaignAxes stress_axes(std::size_t scenarios, std::size_t strategies,
+                              std::size_t reps) {
+  exp::CampaignAxes axes;
+  axes.name = "stress";
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    axes.scenario_labels.push_back("sc" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < strategies; ++i) {
+    axes.strategy_labels.push_back("st" + std::to_string(i));
+  }
+  axes.replications = reps;
+  axes.root_seed = 777;
+  return axes;
+}
+
+/// Deterministic in the seed, with a seed-dependent amount of wasted
+/// work so cells complete far out of claim order.
+exp::CellMetrics jittered_cell(const exp::CellContext& ctx) {
+  const std::uint64_t spin = ctx.seed % 2048;
+  volatile double sink_value = 0.0;
+  for (std::uint64_t i = 0; i < spin * 32; ++i) {
+    sink_value = sink_value + static_cast<double>(i);
+  }
+  if ((ctx.seed & 1u) != 0u) std::this_thread::yield();
+  return {{"value", static_cast<double>(ctx.seed % 100000) / 7.0},
+          {"flat", static_cast<double>(ctx.flat)}};
+}
+
+/// Sink that asserts the runner's ascending-flat-order delivery contract
+/// while the workers behind it complete cells in scrambled order.
+class OrderCheckSink final : public exp::CampaignSink {
+ public:
+  void on_cell(const exp::CellResult& cell) override {
+    EXPECT_EQ(cell.context.flat, next_);
+    ++next_;
+  }
+  void end() override { ended_ = true; }
+
+  [[nodiscard]] std::size_t delivered() const { return next_; }
+  [[nodiscard]] bool ended() const { return ended_; }
+
+ private:
+  std::size_t next_ = 0;
+  bool ended_ = false;
+};
+
+TEST(ConcurrencyStress, ReorderWindowDeliversAscendingUnderContention) {
+  const exp::CampaignAxes axes = stress_axes(4, 2, 8);  // 64 cells
+  par::ThreadPool pool(4);
+  exp::CampaignOptions options;
+  options.pool = &pool;
+  options.reorder_window = 3;  // far smaller than the grid: constant gating
+  OrderCheckSink sink;
+  exp::CampaignRunner(options).run_with_sink(axes, jittered_cell, sink);
+  EXPECT_EQ(sink.delivered(), axes.cell_count());
+  EXPECT_TRUE(sink.ended());
+}
+
+TEST(ConcurrencyStress, CampaignJsonByteIdenticalAcrossWidths) {
+  const exp::CampaignAxes axes = stress_axes(3, 2, 6);
+  par::ThreadPool narrow(1);
+  par::ThreadPool wide(4);
+
+  exp::CampaignOptions serial_options;
+  serial_options.pool = &narrow;
+  exp::CampaignOptions contended_options;
+  contended_options.pool = &wide;
+  contended_options.reorder_window = 2;
+
+  const std::string serial =
+      exp::CampaignRunner(serial_options).run(axes, jittered_cell).to_json();
+  const std::string contended = exp::CampaignRunner(contended_options)
+                                    .run(axes, jittered_cell)
+                                    .to_json();
+  EXPECT_EQ(serial, contended);
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint writer: concurrent appends + resume
+// --------------------------------------------------------------------------
+
+std::string stress_temp_path(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gridsub_test_stress";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+TEST(ConcurrencyStress, CheckpointWriterUnderConcurrentAppends) {
+  const exp::CampaignAxes axes = stress_axes(5, 2, 6);  // 60 cells
+  const std::string path = stress_temp_path("contended.ckpt");
+  par::ThreadPool pool(4);
+  exp::CampaignOptions options;
+  options.pool = &pool;
+  options.reorder_window = 4;
+  options.checkpoint_path = path;
+
+  const exp::CampaignResult first =
+      exp::CampaignRunner(options).run(axes, jittered_cell);
+  const exp::CampaignCheckpoint on_disk = exp::load_checkpoint(path);
+  EXPECT_TRUE(on_disk.complete());
+  EXPECT_FALSE(on_disk.dropped_partial_tail);
+
+  // A rerun resumes every cell from disk (no fresh evaluation) and its
+  // output is byte-identical to the straight run.
+  const exp::CampaignResult resumed =
+      exp::CampaignRunner(options).run(axes, jittered_cell);
+  EXPECT_EQ(first.to_json(), resumed.to_json());
+  std::filesystem::remove(path);
+}
+
+TEST(ConcurrencyStress, CheckpointWriterDirectContention) {
+  const exp::CampaignAxes axes = stress_axes(4, 2, 8);  // 64 cells
+  const std::string path = stress_temp_path("direct.ckpt");
+  exp::CheckpointWriter writer(path, axes, exp::CampaignShard{},
+                               exp::CheckpointWriter::Resume{});
+
+  // 4 raw threads append interleaved slices of the grid with no runner
+  // in between — the writer's own lock is the only serialization.
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t flat = t; flat < axes.cell_count();
+           flat += kThreads) {
+        exp::CellResult cell;
+        cell.context = axes.cell(flat);
+        cell.metrics = jittered_cell(cell.context);
+        writer.append(cell);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const exp::CampaignCheckpoint on_disk = exp::load_checkpoint(path);
+  EXPECT_TRUE(on_disk.complete());
+  for (const exp::CellResult& cell : on_disk.cells) {
+    EXPECT_TRUE(exp::same_cell_metrics(
+        cell.metrics, jittered_cell(axes.cell(cell.context.flat))));
+  }
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------------------
+// MC engine: block write-back across pool widths
+// --------------------------------------------------------------------------
+
+TEST(ConcurrencyStress, McBlockWriteBackBitIdenticalAcrossWidths) {
+  const auto model =
+      testutil::discretize(testutil::make_heavy_model(0.05, 4000.0), 1.0);
+  par::ThreadPool narrow(1);
+  par::ThreadPool wide(8);
+
+  mc::McOptions serial_options;
+  serial_options.replications = 20000;  // ~5 blocks: real write-back traffic
+  serial_options.seed = 4242;
+  serial_options.pool = &narrow;
+  mc::McOptions contended_options = serial_options;
+  contended_options.pool = &wide;
+
+  const mc::McResult serial =
+      mc::simulate_delayed(model, 400.0, 700.0, serial_options);
+  const mc::McResult contended =
+      mc::simulate_delayed(model, 400.0, 700.0, contended_options);
+  EXPECT_EQ(serial.replications, contended.replications);
+  EXPECT_DOUBLE_EQ(serial.mean_latency, contended.mean_latency);
+  EXPECT_DOUBLE_EQ(serial.std_latency, contended.std_latency);
+  EXPECT_DOUBLE_EQ(serial.mean_submissions, contended.mean_submissions);
+  EXPECT_DOUBLE_EQ(serial.mean_parallel_ratio,
+                   contended.mean_parallel_ratio);
+}
+
+}  // namespace
+}  // namespace gridsub

@@ -5,6 +5,8 @@
 //   gridsub-fit --in week51.csv
 //   gridsub-tracegen --dataset 2006-IX --out - | gridsub-fit --in /dev/stdin
 
+// gridsub-lint: allow-file(printf-float) CLI console diagnostics only
+
 #include <cstdio>
 #include <string>
 #include <vector>

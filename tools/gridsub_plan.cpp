@@ -5,6 +5,8 @@
 //   gridsub-plan --in week51.csv --objective latency --budget 4
 //   gridsub-plan --in week51.csv --stability        # Table-5-style ±5 s
 
+// gridsub-lint: allow-file(printf-float) CLI console diagnostics only
+
 #include <cstdio>
 #include <string>
 

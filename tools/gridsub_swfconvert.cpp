@@ -21,6 +21,8 @@
 // in archive time (SWF submit times are relative to the log start by
 // spec); --max-jobs caps the *kept* jobs.
 
+// gridsub-lint: allow-file(printf-float) CLI console diagnostics only
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>

@@ -7,6 +7,8 @@
 // Either a named paper dataset (calibrated to Table 1) or a custom
 // calibration; writes the CSV format read by gridsub-fit / gridsub-plan.
 
+// gridsub-lint: allow-file(printf-float) CLI console diagnostics only
+
 #include <cstdio>
 #include <iostream>
 #include <string>
