@@ -7,7 +7,8 @@ is easy to break with one innocuous line — iterating an unordered
 container into a fold, formatting a double through the locale-sensitive
 iostream path, seeding from the wall clock.  This linter scans the
 modules whose output reaches users (src/exp, src/report, src/stats,
-src/traces, tools) for the known failure patterns.
+src/traces, tools) plus the simulation core the trajectories flow
+through (src/sim, src/online) for the known failure patterns.
 
 Rules (name — what it flags):
 
@@ -132,7 +133,8 @@ UNORDERED_DECL_RE = re.compile(
     r".*?>\s*(?:&\s*)?(\w+)\s*(?:[;={(,)]|$)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([^)]+)\)")
 
-DEFAULT_DIRS = ("src/exp", "src/report", "src/stats", "src/traces", "tools")
+DEFAULT_DIRS = ("src/exp", "src/online", "src/report", "src/sim", "src/stats",
+                "src/traces", "tools")
 EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
 
 

@@ -118,6 +118,12 @@ class RealTree(unittest.TestCase):
         code, out = run_lint()
         self.assertEqual(code, 0, f"default scan must stay clean:\n{out}")
 
+    def test_simulation_core_is_covered(self):
+        # The DES core and online layer feed every trajectory; they must
+        # stay inside the default scan, not just the reporting modules.
+        for module in ("src/sim", "src/online"):
+            self.assertIn(module, lint_determinism.DEFAULT_DIRS)
+
     def test_list_rules_matches_table(self):
         code, out = run_lint("--list-rules")
         self.assertEqual(code, 0)

@@ -37,25 +37,27 @@ double ComputingElement::load() const {
 std::uint32_t ComputingElement::acquire_slot() {
   if (free_head_ != kNilIndex) {
     const std::uint32_t index = free_head_;
-    free_head_ = jobs_[index].next;
-    jobs_[index].next = kNilIndex;
+    free_head_ = hot_[index].next;
+    hot_[index].next = kNilIndex;
     return index;
   }
-  const auto index = static_cast<std::uint32_t>(jobs_.size());
-  jobs_.emplace_back();
+  const auto index = static_cast<std::uint32_t>(hot_.size());
+  hot_.emplace_back();
+  cold_.emplace_back();
   return index;
 }
 
 void ComputingElement::release_slot(std::uint32_t index) {
-  JobSlot& slot = jobs_[index];
-  slot.on_start = nullptr;
-  slot.on_complete = nullptr;
-  slot.completion_event = 0;
-  ++slot.generation;  // stale handles now fail the generation check
-  slot.state = JobSlot::State::kFree;
-  slot.prev = kNilIndex;
-  slot.ghosts_before = 0;
-  slot.next = free_head_;
+  JobCold& cold = cold_[index];
+  cold.on_start = nullptr;
+  cold.on_complete = nullptr;
+  cold.completion_event = 0;
+  JobHot& hot = hot_[index];
+  ++hot.generation;  // stale handles now fail the generation check
+  hot.state = JobState::kFree;
+  hot.prev = kNilIndex;
+  hot.ghosts_before = 0;
+  hot.next = free_head_;
   free_head_ = index;
 }
 
@@ -64,19 +66,19 @@ void ComputingElement::release_slot(std::uint32_t index) {
 /// drained past it (the historical lazy-removal semantics).
 void ComputingElement::lane_unlink_to_ghost(LaneList& list,
                                             std::uint32_t index) {
-  JobSlot& slot = jobs_[index];
-  const std::uint32_t ghosts = slot.ghosts_before + 1;
-  if (slot.next != kNilIndex) {
-    jobs_[slot.next].ghosts_before += ghosts;
-    jobs_[slot.next].prev = slot.prev;
+  JobHot& hot = hot_[index];
+  const std::uint32_t ghosts = hot.ghosts_before + 1;
+  if (hot.next != kNilIndex) {
+    hot_[hot.next].ghosts_before += ghosts;
+    hot_[hot.next].prev = hot.prev;
   } else {
     list.ghosts_tail += ghosts;
-    list.tail = slot.prev;
+    list.tail = hot.prev;
   }
-  if (slot.prev != kNilIndex) {
-    jobs_[slot.prev].next = slot.next;
+  if (hot.prev != kNilIndex) {
+    hot_[hot.prev].next = hot.next;
   } else {
-    list.head = slot.next;
+    list.head = hot.next;
   }
   // list.count is intentionally NOT decremented: the ghost still counts.
 }
@@ -100,24 +102,25 @@ ComputingElement::JobHandle ComputingElement::submit(
     return make_handle(kNilIndex, fault_serial_++);
   }
   const std::uint32_t index = acquire_slot();
-  JobSlot& slot = jobs_[index];
-  slot.runtime = runtime;
-  slot.enqueue_time = sim_.now();
-  slot.on_start = std::move(on_start);
-  slot.on_complete = std::move(on_complete);
-  slot.state = JobSlot::State::kQueued;
-  slot.lane = lane;
-  const JobHandle handle = make_handle(index, slot.generation);
+  JobCold& cold = cold_[index];
+  cold.runtime = runtime;
+  cold.enqueue_time = sim_.now();
+  cold.on_start = std::move(on_start);
+  cold.on_complete = std::move(on_complete);
+  JobHot& hot = hot_[index];
+  hot.state = JobState::kQueued;
+  hot.lane = lane;
+  const JobHandle handle = make_handle(index, hot.generation);
   LaneList& list = (lane == Lane::kLocal) ? local_ : remote_;
   if (list.tail == kNilIndex) {
     list.head = index;
   } else {
-    jobs_[list.tail].next = index;
+    hot_[list.tail].next = index;
   }
-  slot.prev = list.tail;
+  hot.prev = list.tail;
   list.tail = index;
   // Ghosts behind the previous tail now sit ahead of this entry.
-  slot.ghosts_before = static_cast<std::uint32_t>(list.ghosts_tail);
+  hot.ghosts_before = static_cast<std::uint32_t>(list.ghosts_tail);
   list.ghosts_tail = 0;
   ++list.count;
   try_start_next();
@@ -127,27 +130,27 @@ ComputingElement::JobHandle ComputingElement::submit(
 bool ComputingElement::cancel(JobHandle handle) {
   const auto index = static_cast<std::uint32_t>(handle & 0xFFFFFFFFu);
   const auto generation = static_cast<std::uint32_t>(handle >> 32);
-  if (index >= jobs_.size()) return false;  // faulted or malformed handle
-  JobSlot& slot = jobs_[index];
-  if (slot.generation != generation) return false;  // already finished
-  switch (slot.state) {
-    case JobSlot::State::kQueued:
+  if (index >= hot_.size()) return false;  // faulted or malformed handle
+  JobHot& hot = hot_[index];
+  if (hot.generation != generation) return false;  // already finished
+  switch (hot.state) {
+    case JobState::kQueued:
       // O(1) unlink; the slot is reclaimed immediately and a counted
       // ghost keeps its place in queue_length() until the lane would
       // have drained past it (old deque semantics, byte-identical load).
-      lane_unlink_to_ghost(slot.lane == Lane::kLocal ? local_ : remote_,
+      lane_unlink_to_ghost(hot.lane == Lane::kLocal ? local_ : remote_,
                            index);
       release_slot(index);
       return true;
-    case JobSlot::State::kRunning:
-      sim_.cancel(slot.completion_event);
+    case JobState::kRunning:
+      sim_.cancel(cold_[index].completion_event);
       release_slot(index);
       --running_;
       // Slot freed: pull the next queued job.
       try_start_next();
       return true;
-    case JobSlot::State::kFree:
-    case JobSlot::State::kStarting:
+    case JobState::kFree:
+    case JobState::kStarting:
       return false;
   }
   return false;
@@ -168,34 +171,35 @@ void ComputingElement::try_start_next() {
     }
     const std::uint32_t index = list.head;
     {
-      JobSlot& head = jobs_[index];
+      JobHot& head = hot_[index];
       list.count -= head.ghosts_before;  // drain ghosts ahead of the head
       head.ghosts_before = 0;
       list.head = head.next;
       if (list.head == kNilIndex) {
         list.tail = kNilIndex;
       } else {
-        jobs_[list.head].prev = kNilIndex;
+        hot_[list.head].prev = kNilIndex;
       }
       head.prev = kNilIndex;
       head.next = kNilIndex;
     }
     --list.count;
     // Move the job out of the slot before on_start runs: the callback may
-    // re-enter submit()/cancel() (growing jobs_), so no references may be
-    // held across it. While kStarting, the handle reports false to
-    // cancel(), as it did between the pending- and running-map eras.
-    JobSlot& slot = jobs_[index];
-    const std::uint32_t generation = slot.generation;
-    const double runtime = slot.runtime;
-    StartCallback on_start = std::move(slot.on_start);
-    CompleteCallback on_complete = std::move(slot.on_complete);
-    slot.on_start = nullptr;
-    slot.state = JobSlot::State::kStarting;
+    // re-enter submit()/cancel() (growing the slot arrays), so no
+    // references may be held across it. While kStarting, the handle
+    // reports false to cancel(), as it did between the pending- and
+    // running-map eras.
+    const std::uint32_t generation = hot_[index].generation;
+    hot_[index].state = JobState::kStarting;
+    JobCold& cold = cold_[index];
+    const double runtime = cold.runtime;
+    StartCallback on_start = std::move(cold.on_start);
+    CompleteCallback on_complete = std::move(cold.on_complete);
+    cold.on_start = nullptr;
     ++running_;
     if (metrics_) {
       ++metrics_->jobs_started;
-      metrics_->total_queue_wait += sim_.now() - slot.enqueue_time;
+      metrics_->total_queue_wait += sim_.now() - cold.enqueue_time;
     }
     if (on_start) on_start();
     const EventId done = sim_.schedule_in(
@@ -204,17 +208,17 @@ void ComputingElement::try_start_next() {
           finish_job(index, generation);
           if (cb) cb();
         });
-    JobSlot& started = jobs_[index];  // re-read: on_start may grow jobs_
-    started.completion_event = done;
-    started.state = JobSlot::State::kRunning;
+    // Re-index (not re-use a reference): on_start may have grown the
+    // arrays and moved them.
+    cold_[index].completion_event = done;
+    hot_[index].state = JobState::kRunning;
   }
 }
 
 void ComputingElement::finish_job(std::uint32_t index,
                                   std::uint32_t generation) {
-  JobSlot& slot = jobs_[index];
-  if (slot.state != JobSlot::State::kRunning ||
-      slot.generation != generation) {
+  JobHot& hot = hot_[index];
+  if (hot.state != JobState::kRunning || hot.generation != generation) {
     return;  // already canceled
   }
   release_slot(index);

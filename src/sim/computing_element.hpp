@@ -15,7 +15,10 @@
 // sim::EventQueue): a JobHandle is (generation << 32) | slot index and the
 // FIFO lanes are intrusive doubly-linked lists threaded through the slots,
 // so submit/cancel never hashes and never allocates beyond amortized
-// slot-vector growth. Cancelling a queued job unlinks and reclaims its
+// slot-vector growth. Slot state is struct-of-arrays: the 20-byte hot
+// record (links, generation, state tag) the scheduler scan walks is a
+// separate array from the cold payload (runtime, callbacks), so draining
+// a deep queue stays cache-dense. Cancelling a queued job unlinks and reclaims its
 // slot in O(1), but leaves a counted "ghost" at its queue position: the
 // historical deque implementation only dropped canceled entries when they
 // reached the queue front with a worker free, so queue_length() — and the
@@ -95,27 +98,37 @@ class ComputingElement {
  private:
   static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
 
-  /// One job slot; freed slots are chained through `next` and their
-  /// generation is bumped so outstanding handles go stale.
-  struct JobSlot {
-    double runtime = 0.0;
-    SimTime enqueue_time = 0.0;
-    StartCallback on_start;
-    CompleteCallback on_complete;
-    EventId completion_event = 0;  ///< valid while running
+  enum class JobState : std::uint8_t {
+    kFree,
+    kQueued,
+    kStarting,  ///< on_start in flight (handle momentarily unknown)
+    kRunning
+  };
+
+  /// Hot half of a job slot — the 20 bytes the scheduler scan, lane
+  /// drains, and cancel routing actually read, so a busy CE walks ~3
+  /// slots per cache line instead of dragging callback payloads through.
+  /// Freed slots are chained through `next` and their generation is
+  /// bumped so outstanding handles go stale.
+  struct JobHot {
     std::uint32_t generation = 1;
     std::uint32_t prev = kNilIndex;  ///< lane FIFO back-link while queued
     std::uint32_t next = kNilIndex;  ///< lane FIFO link / free-list link
     /// Canceled-but-undrained entries immediately ahead of this one in
     /// the lane (see the ghost-accounting note above).
     std::uint32_t ghosts_before = 0;
-    enum class State : std::uint8_t {
-      kFree,
-      kQueued,
-      kStarting,  ///< on_start in flight (handle momentarily unknown)
-      kRunning
-    } state = State::kFree;
+    JobState state = JobState::kFree;
     Lane lane = Lane::kLocal;  ///< valid while queued
+  };
+
+  /// Cold half, parallel to `hot_`: payloads touched only at submit,
+  /// start, and completion of *this* job, never during scans over others.
+  struct JobCold {
+    double runtime = 0.0;
+    SimTime enqueue_time = 0.0;
+    StartCallback on_start;
+    CompleteCallback on_complete;
+    EventId completion_event = 0;  ///< valid while running
   };
 
   /// Intrusive FIFO lane over the slot vector. `count` includes ghost
@@ -141,7 +154,8 @@ class ComputingElement {
   stats::Rng rng_;
   GridMetrics* metrics_;
 
-  std::vector<JobSlot> jobs_;
+  std::vector<JobHot> hot_;    ///< struct-of-arrays job state...
+  std::vector<JobCold> cold_;  ///< ...same index = same job
   std::uint32_t free_head_ = kNilIndex;
   LaneList local_;   // local lane, FIFO
   LaneList remote_;  // remote lane, FIFO, lower priority

@@ -7,8 +7,8 @@ namespace gridsub::sim {
 
 namespace {
 
-/// Below this heap size, canceled residue is too small to matter; skipping
-/// compaction keeps the common small-queue path branch-cheap.
+/// Below this queued size, canceled residue is too small to matter;
+/// skipping compaction keeps the common small-queue path branch-cheap.
 constexpr std::size_t kCompactionFloor = 64;
 
 constexpr EventId make_id(std::uint32_t index, std::uint32_t generation) {
@@ -26,32 +26,37 @@ EventId EventQueue::push(SimTime time, SmallFn fn, bool daemon) {
   std::uint32_t index;
   if (free_head_ != kNilIndex) {
     index = free_head_;
-    Slot& s = slots_[index];
+    SlotMeta& s = slots_[index];
     free_head_ = s.next_free;
     s.next_free = kNilIndex;
-    s.fn = std::move(fn);
     s.live = true;
     s.daemon = daemon;
+    fns_[index] = std::move(fn);
   } else {
     index = static_cast<std::uint32_t>(slots_.size());
-    Slot& s = slots_.emplace_back();
-    s.fn = std::move(fn);
+    SlotMeta& s = slots_.emplace_back();
     s.live = true;
     s.daemon = daemon;
+    fns_.push_back(std::move(fn));
   }
-  const std::uint32_t generation = slots_[index].generation;
-  heap_.push_back({time, next_seq_++, index, generation});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry entry{time, next_seq_++, index, slots_[index].generation};
+  // Far-future events go straight to a wheel bucket — O(1), no sift — and
+  // reach the heap only if their bucket ever rotates due. Near/declined
+  // ones take the classic heap path.
+  if (!wheel_.try_insert(entry)) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
   ++alive_;
   if (!daemon) ++live_count_;
-  return make_id(index, generation);
+  return make_id(index, entry.generation);
 }
 
 void EventQueue::release(std::uint32_t index) {
-  Slot& s = slots_[index];
-  s.fn = SmallFn{};  // drop any heap-held capture now, not at reuse
+  SlotMeta& s = slots_[index];
+  fns_[index] = SmallFn{};  // drop any heap-held capture now, not at reuse
   s.live = false;
-  ++s.generation;  // ids and heap entries naming the old tenant go stale
+  ++s.generation;  // ids and queued entries naming the old tenant go stale
   s.next_free = free_head_;
   free_head_ = index;
   --alive_;
@@ -62,12 +67,13 @@ bool EventQueue::cancel(EventId id) {
   const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
   const auto generation = static_cast<std::uint32_t>(id >> 32);
   if (index >= slots_.size()) return false;
-  const Slot& s = slots_[index];
+  const SlotMeta& s = slots_[index];
   if (!s.live || s.generation != generation) return false;
-  release(index);  // heap entry is dropped lazily...
-  // ...unless dead entries outnumber live ones: then filter the heap in
-  // place, which bounds it at O(live) under cancel/reschedule storms.
-  if (heap_.size() > kCompactionFloor && heap_.size() > 2 * alive_) {
+  release(index);  // heap/wheel entry is dropped lazily...
+  // ...unless dead entries outnumber live ones across both structures:
+  // then filter in place, which bounds the total at O(live) under
+  // cancel/reschedule storms.
+  if (queued() > kCompactionFloor && queued() > 2 * alive_) {
     compact();
   }
   return true;
@@ -76,29 +82,43 @@ bool EventQueue::cancel(EventId id) {
 void EventQueue::compact() {
   std::erase_if(heap_, [this](const Entry& e) { return entry_dead(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
+  wheel_.erase_if([this](const Entry& e) { return entry_dead(e); });
 }
 
-void EventQueue::drop_canceled() const {
-  while (!heap_.empty() && entry_dead(heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::settle() const {
+  for (;;) {
+    while (!heap_.empty() && entry_dead(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+    if (wheel_.empty()) return;
+    if (!heap_.empty() && heap_.front().time < wheel_.cursor_time()) return;
+    // The heap top could tie or lose against a wheel entry: rotate the
+    // earliest bucket in and let the heap order it (original seq intact).
+    promote_buf_.clear();
+    wheel_.rotate_into(promote_buf_);
+    for (const Entry& e : promote_buf_) {
+      if (entry_dead(e)) continue;  // canceled in its bucket: never heapified
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
   }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_canceled();
+  settle();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
   return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_canceled();
+  settle();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
   const Entry top = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   heap_.pop_back();
   Fired fired{top.time, make_id(top.slot, top.generation),
-              std::move(slots_[top.slot].fn)};
+              std::move(fns_[top.slot])};
   release(top.slot);
   return fired;
 }

@@ -6,9 +6,9 @@
 // strategies *are*), so cancellation is first-class: push() returns an id,
 // cancel() lazily invalidates it. Ties in time are broken by insertion
 // order, which keeps runs deterministic. Canceled entries are dropped
-// lazily from the heap, but cancel() compacts it whenever dead entries
-// outnumber live ones — a timeout strategy that cancels and reschedules
-// for a whole simulated week keeps the heap at O(live), not O(canceled).
+// lazily, but cancel() compacts whenever dead entries outnumber live ones
+// — a timeout strategy that cancels and reschedules for a whole simulated
+// week keeps the structures at O(live), not O(canceled).
 //
 // Events come in two flavours. Regular events keep the simulation alive;
 // *daemon* events are housekeeping (e.g. the WMS refreshing its stale load
@@ -19,16 +19,28 @@
 // (generation << 32) | slot index, so push is a free-list pop + vector
 // write and cancel is a bounds check + generation compare — no hashing,
 // and (with SmallFn's inline buffer) no heap allocation for the common
-// events. Freeing a slot bumps its generation, so a stale id whose slot
-// was recycled fails the generation check instead of cancelling a
-// stranger's event. Pop order is unchanged from the hash-map era: the heap
-// breaks time ties by a monotone push sequence number, which is exactly
-// the old monotone-id FIFO rule, so simulations replay byte-identically.
+// events. Slot state is struct-of-arrays: the 12-byte metadata the heap
+// and compaction scans actually read (generation, liveness, free chain)
+// lives apart from the 64-byte SmallFn payload, which only pop() touches.
+// Freeing a slot bumps its generation, so a stale id whose slot was
+// recycled fails the generation check instead of cancelling a stranger's
+// event.
+//
+// Ordering is two-tier. Near-future events sit on a binary heap; far-future
+// ones (the t_inf timeout armada that delayed/multiple strategies arm and
+// usually cancel) go to a hierarchical timer wheel (timer_wheel.hpp) where
+// arm and cancel are O(1) and never sift the heap. settle() promotes wheel
+// buckets into the heap strictly before their window can contain the global
+// minimum, and promoted entries carry their original push sequence number,
+// so pop order — including the monotone-seq FIFO tie-break — is
+// byte-identical to a heap-only build (construct with enabled=false for the
+// reference path).
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/small_fn.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace gridsub::sim {
 
@@ -42,6 +54,8 @@ using EventId = std::uint64_t;
 
 class EventQueue {
  public:
+  explicit EventQueue(const TimerWheelConfig& wheel = {}) : wheel_(wheel) {}
+
   /// Schedules `fn` at `time`; returns a cancellation handle. Daemon
   /// events do not count towards liveness (see live_size()).
   EventId push(SimTime time, SmallFn fn, bool daemon = false);
@@ -61,10 +75,13 @@ class EventQueue {
   /// reaches zero, even if periodic daemon events are still scheduled.
   [[nodiscard]] std::size_t live_size() const { return live_count_; }
 
-  /// Heap entries currently allocated, canceled residue included. Bounded
-  /// at max(compaction floor, 2 × size()) by cancel()-time compaction; the
-  /// regression test for cancel-heavy strategies asserts this bound.
-  [[nodiscard]] std::size_t queued() const { return heap_.size(); }
+  /// Heap + wheel entries currently allocated, canceled residue included.
+  /// Bounded at max(compaction floor, 2 × size()) by cancel()-time
+  /// compaction; the regression test for cancel-heavy strategies asserts
+  /// this bound.
+  [[nodiscard]] std::size_t queued() const {
+    return heap_.size() + wheel_.size();
+  }
 
   /// Time of the earliest live event; requires !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -80,22 +97,19 @@ class EventQueue {
  private:
   static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
 
-  /// One event slot. Freed slots are chained through `next_free`; the
-  /// generation is bumped on release so ids referring to the old tenant
-  /// go stale.
-  struct Slot {
-    SmallFn fn;
+  /// Hot per-slot metadata — everything the heap/wheel scans consult.
+  /// Freed slots are chained through `next_free`; the generation is bumped
+  /// on release so ids referring to the old tenant go stale. The callback
+  /// payload lives in the parallel `fns_` array (cold: pop()-only).
+  struct SlotMeta {
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNilIndex;
     bool live = false;
     bool daemon = false;
   };
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  ///< monotone push counter: FIFO tie-break
-    std::uint32_t slot;
-    std::uint32_t generation;
-  };
+  /// Pending-event record shared by the heap and the wheel; `seq` is the
+  /// monotone push counter that implements the FIFO tie-break.
+  using Entry = TimerEntry;
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -104,18 +118,27 @@ class EventQueue {
   };
 
   [[nodiscard]] bool entry_dead(const Entry& e) const {
-    const Slot& s = slots_[e.slot];
+    const SlotMeta& s = slots_[e.slot];
     return !s.live || s.generation != e.generation;
   }
   /// Returns the slot to the free list and invalidates outstanding ids.
   void release(std::uint32_t index);
-  void drop_canceled() const;
+  /// Pops dead heap heads and promotes due wheel buckets until the heap
+  /// top (if any) is provably the global minimum: every wheel entry has
+  /// time >= wheel cursor, so `top.time < cursor_time()` ends the loop.
+  /// Promotion at >= keeps time-ties flowing through the heap, where seq
+  /// settles them.
+  void settle() const;
   void compact();
 
   /// Min-heap (std::push_heap/pop_heap with Later) over a plain vector so
-  /// compaction can filter dead entries in place in O(n).
+  /// compaction can filter dead entries in place in O(n). Mutable (with
+  /// the wheel) because next_time() settles lazily.
   mutable std::vector<Entry> heap_;
-  std::vector<Slot> slots_;
+  mutable TimerWheel wheel_;
+  mutable std::vector<Entry> promote_buf_;  ///< settle() scratch
+  std::vector<SlotMeta> slots_;
+  std::vector<SmallFn> fns_;  ///< cold payloads, parallel to slots_
   std::uint32_t free_head_ = kNilIndex;
   std::uint64_t next_seq_ = 1;
   std::size_t alive_ = 0;       ///< occupied slots (daemons included)

@@ -17,6 +17,10 @@ namespace gridsub::sim {
 
 class Simulator {
  public:
+  /// `wheel` tunes (or disables) the far-event timer wheel inside the
+  /// event queue; the default is on and byte-identical to heap-only.
+  explicit Simulator(const TimerWheelConfig& wheel = {}) : queue_(wheel) {}
+
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules at an absolute time (>= now).

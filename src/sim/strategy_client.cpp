@@ -1,18 +1,18 @@
 #include "sim/strategy_client.hpp"
 
-#include <map>
+#include <algorithm>
 #include <stdexcept>
-
-#include "numerics/kahan.hpp"
 
 namespace gridsub::sim {
 
 StrategyClient::StrategyClient(GridSimulation& grid, StrategySpec spec,
-                               std::size_t n_tasks, double task_runtime)
+                               std::size_t n_tasks, double task_runtime,
+                               bool record_outcomes)
     : grid_(grid),
       spec_(spec),
       n_tasks_(n_tasks),
-      task_runtime_(task_runtime) {
+      task_runtime_(task_runtime),
+      record_outcomes_(record_outcomes) {
   if (n_tasks == 0) throw std::invalid_argument("StrategyClient: no tasks");
   if (!(spec.t_inf > 0.0)) {
     throw std::invalid_argument("StrategyClient: t_inf <= 0");
@@ -26,164 +26,141 @@ StrategyClient::StrategyClient(GridSimulation& grid, StrategySpec spec,
     throw std::invalid_argument(
         "StrategyClient: delayed requires 0 < t0 < t_inf <= 2*t0");
   }
-  outcomes_.reserve(n_tasks);
+  if (record_outcomes_) outcomes_.reserve(n_tasks);
 }
 
 void StrategyClient::start() { start_task(); }
 
 void StrategyClient::start_task() {
-  if (outcomes_.size() >= n_tasks_) return;
-  const SimTime task_start = grid_.simulator().now();
-  auto outcome = std::make_shared<TaskOutcome>();
+  if (completed_ >= n_tasks_) return;
+  ++round_;  // any straggler callbacks from the previous task go stale
+  task_start_ = grid_.simulator().now();
+  submissions_ = 0;
+  next_index_ = 0;
+  live_.clear();
   switch (spec_.kind) {
     case core::StrategyKind::kSingleResubmission:
-      run_single_round(outcome, task_start);
+      begin_single_round();
       break;
     case core::StrategyKind::kMultipleSubmission:
-      run_multiple_round(outcome, task_start);
+      begin_multiple_round();
       break;
     case core::StrategyKind::kDelayedResubmission:
-      run_delayed(outcome, task_start);
+      delayed_submit_copy();
       break;
   }
 }
 
-void StrategyClient::finish_task(const TaskOutcome& outcome) {
-  outcomes_.push_back(outcome);
+void StrategyClient::finish_task(double latency) {
+  ++completed_;
+  latency_acc_.add(latency);
+  submissions_acc_.add(submissions_);
+  if (record_outcomes_) outcomes_.push_back({latency, submissions_});
   start_task();
 }
 
-void StrategyClient::run_single_round(std::shared_ptr<TaskOutcome> outcome,
-                                      SimTime task_start) {
-  struct RoundState {
-    bool settled = false;
-    WorkloadManager::TicketId ticket = 0;
-    EventId timeout_event = 0;
-  };
-  auto state = std::make_shared<RoundState>();
-  ++outcome->submissions;
+void StrategyClient::begin_single_round() {
+  ++round_;
+  const std::uint64_t round = round_;
+  ++submissions_;
   auto& sim = grid_.simulator();
-  state->ticket =
-      grid_.wms().submit(task_runtime_, [this, state, outcome, task_start]() {
-        if (state->settled) return;
-        state->settled = true;
-        grid_.simulator().cancel(state->timeout_event);
-        outcome->total_latency = grid_.simulator().now() - task_start;
-        finish_task(*outcome);
-      });
-  state->timeout_event =
-      sim.schedule_in(spec_.t_inf, [this, state, outcome, task_start]() {
-        if (state->settled) return;
-        state->settled = true;
-        grid_.wms().cancel(state->ticket);
-        run_single_round(outcome, task_start);  // resubmit
-      });
+  ticket_ = grid_.wms().submit(task_runtime_, [this, round]() {
+    if (round != round_) return;
+    ++round_;  // settled: the pending timeout is now stale
+    grid_.simulator().cancel(timeout_event_);
+    finish_task(grid_.simulator().now() - task_start_);
+  });
+  timeout_event_ = sim.schedule_in(spec_.t_inf, [this, round]() {
+    if (round != round_) return;
+    ++round_;  // a late start of this round must not double-settle
+    grid_.wms().cancel(ticket_);
+    begin_single_round();  // resubmit
+  });
 }
 
-void StrategyClient::run_multiple_round(std::shared_ptr<TaskOutcome> outcome,
-                                        SimTime task_start) {
-  struct RoundState {
-    bool settled = false;
-    std::vector<WorkloadManager::TicketId> tickets;
-    EventId timeout_event = 0;
-  };
-  auto state = std::make_shared<RoundState>();
+void StrategyClient::begin_multiple_round() {
+  ++round_;
+  const std::uint64_t round = round_;
+  tickets_.clear();
   auto& sim = grid_.simulator();
   for (int i = 0; i < spec_.b; ++i) {
-    ++outcome->submissions;
-    const auto ticket = grid_.wms().submit(
-        task_runtime_, [this, state, outcome, task_start, i]() {
-          if (state->settled) return;
-          state->settled = true;
-          grid_.simulator().cancel(state->timeout_event);
-          // Cancel the rest of the collection.
-          for (int j = 0; j < static_cast<int>(state->tickets.size()); ++j) {
-            if (j != i) grid_.wms().cancel(state->tickets[j]);
+    ++submissions_;
+    const auto ticket =
+        grid_.wms().submit(task_runtime_, [this, round, i]() {
+          if (round != round_) return;
+          // Settle *before* cancelling: freeing a sibling's queue slot can
+          // synchronously start another of our copies, which must see the
+          // round as over.
+          ++round_;
+          grid_.simulator().cancel(timeout_event_);
+          for (int j = 0; j < static_cast<int>(tickets_.size()); ++j) {
+            if (j != i) grid_.wms().cancel(tickets_[j]);
           }
-          outcome->total_latency = grid_.simulator().now() - task_start;
-          finish_task(*outcome);
+          finish_task(grid_.simulator().now() - task_start_);
         });
-    state->tickets.push_back(ticket);
+    tickets_.push_back(ticket);
   }
-  state->timeout_event =
-      sim.schedule_in(spec_.t_inf, [this, state, outcome, task_start]() {
-        if (state->settled) return;
-        state->settled = true;
-        for (const auto t : state->tickets) grid_.wms().cancel(t);
-        run_multiple_round(outcome, task_start);  // resubmit collection
-      });
+  timeout_event_ = sim.schedule_in(spec_.t_inf, [this, round]() {
+    if (round != round_) return;
+    ++round_;  // see above: cancels below may reentrantly start our copies
+    for (const auto t : tickets_) grid_.wms().cancel(t);
+    begin_multiple_round();  // resubmit collection
+  });
 }
 
-void StrategyClient::run_delayed(std::shared_ptr<TaskOutcome> outcome,
-                                 SimTime task_start) {
-  struct Copy {
-    WorkloadManager::TicketId ticket = 0;
-    EventId timeout_event = 0;
-  };
-  struct DelayedState {
-    bool settled = false;
-    std::map<int, Copy> live;  // copy index -> handles
-    EventId next_submit_event = 0;
-    int next_index = 0;
-  };
-  auto state = std::make_shared<DelayedState>();
-
-  // Submits copy `k` (at time task_start + k*t0) and schedules copy k+1.
-  // The closure must not hold a strong reference to itself (that cycle
-  // leaks); only the pending chain event in the queue keeps it alive.
-  auto submit_copy = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_submit = submit_copy;
-  *submit_copy = [this, state, outcome, task_start, weak_submit]() {
-    if (state->settled) return;
-    auto& sim = grid_.simulator();
-    const int k = state->next_index++;
-    ++outcome->submissions;
-    Copy copy;
-    copy.ticket = grid_.wms().submit(
-        task_runtime_, [this, state, outcome, task_start, k]() {
-          if (state->settled) return;
-          state->settled = true;
-          auto& s = grid_.simulator();
-          s.cancel(state->next_submit_event);
-          for (auto& [index, c] : state->live) {
-            s.cancel(c.timeout_event);
-            if (index != k) grid_.wms().cancel(c.ticket);
-          }
-          state->live.clear();
-          outcome->total_latency = s.now() - task_start;
-          finish_task(*outcome);
-        });
-    copy.timeout_event = sim.schedule_in(spec_.t_inf, [this, state, k]() {
-      if (state->settled) return;
-      auto it = state->live.find(k);
-      if (it == state->live.end()) return;
-      grid_.wms().cancel(it->second.ticket);
-      state->live.erase(it);
-    });
-    state->live.emplace(k, copy);
-    // Schedule the next copy one period later; the event's strong
-    // reference is what keeps the recursive closure alive.
-    auto self = weak_submit.lock();
-    if (!self) return;
-    state->next_submit_event = sim.schedule_at(
-        task_start + static_cast<double>(state->next_index) * spec_.t0,
-        [self]() { (*self)(); });
-  };
-  (*submit_copy)();
+/// Submits delayed copy `k` (at time task_start + k*t0) and schedules copy
+/// k+1 one period later; the chain runs until some copy starts, which
+/// settles the task and cancels everything outstanding.
+void StrategyClient::delayed_submit_copy() {
+  const std::uint64_t round = round_;
+  auto& sim = grid_.simulator();
+  const int k = next_index_++;
+  ++submissions_;
+  const auto ticket =
+      grid_.wms().submit(task_runtime_, [this, round, k]() {
+        if (round != round_) return;
+        ++round_;  // settled (and cancels below may reenter us)
+        auto& s = grid_.simulator();
+        s.cancel(next_submit_event_);
+        for (const DelayedCopy& copy : live_) {
+          s.cancel(copy.timeout_event);
+          if (copy.index != k) grid_.wms().cancel(copy.ticket);
+        }
+        live_.clear();
+        finish_task(s.now() - task_start_);
+      });
+  const EventId timeout = sim.schedule_in(spec_.t_inf, [this, round, k]() {
+    if (round != round_) return;
+    const auto it = std::find_if(
+        live_.begin(), live_.end(),
+        [k](const DelayedCopy& copy) { return copy.index == k; });
+    if (it == live_.end()) return;
+    const auto timed_out_ticket = it->ticket;
+    grid_.wms().cancel(timed_out_ticket);
+    // The cancel can reentrantly start a sibling copy and settle the
+    // task, clearing live_; re-check before touching the iterator.
+    if (round != round_) return;
+    live_.erase(std::find_if(
+        live_.begin(), live_.end(),
+        [k](const DelayedCopy& copy) { return copy.index == k; }));
+  });
+  live_.push_back({k, ticket, timeout});
+  next_submit_event_ = sim.schedule_at(
+      task_start_ + static_cast<double>(next_index_) * spec_.t0,
+      [this, round]() {
+        if (round != round_) return;
+        delayed_submit_copy();
+      });
 }
 
 double StrategyClient::mean_latency() const {
-  if (outcomes_.empty()) return 0.0;
-  numerics::KahanAccumulator acc;
-  for (const auto& o : outcomes_) acc.add(o.total_latency);
-  return acc.value() / static_cast<double>(outcomes_.size());
+  if (completed_ == 0) return 0.0;
+  return latency_acc_.value() / static_cast<double>(completed_);
 }
 
 double StrategyClient::mean_submissions() const {
-  if (outcomes_.empty()) return 0.0;
-  numerics::KahanAccumulator acc;
-  for (const auto& o : outcomes_) acc.add(o.submissions);
-  return acc.value() / static_cast<double>(outcomes_.size());
+  if (completed_ == 0) return 0.0;
+  return submissions_acc_.value() / static_cast<double>(completed_);
 }
 
 }  // namespace gridsub::sim

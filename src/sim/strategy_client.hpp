@@ -8,12 +8,23 @@
 // free queue slots, their resubmissions add load, and — in the feedback
 // experiment — many concurrent strategy clients perturb each other, the
 // paper's stated future work.
+//
+// Built to be instantiated 10^5-10^6 times in one simulation
+// (bench_scale_million): per-round protocol state is a fixed block of hot
+// members reused across rounds — no shared_ptr round objects, no per-round
+// allocation — with a monotone round counter as the staleness guard:
+// callbacks capture the round they belong to and no-op when the client has
+// moved on, which is observably identical to the historical
+// fresh-state-per-round scheme (the old `settled` flag *is* a round
+// mismatch). Means are folded incrementally (same Kahan order as summing
+// the stored outcomes), so with `record_outcomes = false` a client costs
+// O(1) memory regardless of task count.
 
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "numerics/kahan.hpp"
 #include "sim/grid.hpp"
 
 namespace gridsub::sim {
@@ -36,8 +47,12 @@ struct TaskOutcome {
 /// started. Designed so several clients can share one grid.
 class StrategyClient {
  public:
+  /// `record_outcomes = false` keeps only the running means — the
+  /// configuration for million-client runs, where per-task vectors would
+  /// dominate memory. Aggregate accessors are unaffected.
   StrategyClient(GridSimulation& grid, StrategySpec spec,
-                 std::size_t n_tasks, double task_runtime = 1.0);
+                 std::size_t n_tasks, double task_runtime = 1.0,
+                 bool record_outcomes = true);
 
   StrategyClient(const StrategyClient&) = delete;
   StrategyClient& operator=(const StrategyClient&) = delete;
@@ -45,9 +60,9 @@ class StrategyClient {
   /// Begins the first task.
   void start();
 
-  [[nodiscard]] bool done() const {
-    return outcomes_.size() >= n_tasks_;
-  }
+  [[nodiscard]] bool done() const { return completed_ >= n_tasks_; }
+  [[nodiscard]] std::size_t tasks_done() const { return completed_; }
+  /// Per-task records; empty when constructed with record_outcomes=false.
   [[nodiscard]] const std::vector<TaskOutcome>& outcomes() const {
     return outcomes_;
   }
@@ -58,18 +73,47 @@ class StrategyClient {
   [[nodiscard]] double mean_submissions() const;
 
  private:
+  /// One in-flight delayed-strategy copy; live_ stays sorted by index
+  /// because copies are appended in submission order (matching the
+  /// historical std::map<int, Copy> iteration order).
+  struct DelayedCopy {
+    int index = 0;
+    WorkloadManager::TicketId ticket = 0;
+    EventId timeout_event = 0;
+  };
+
   void start_task();
-  void run_single_round(std::shared_ptr<TaskOutcome> outcome,
-                        SimTime task_start);
-  void run_multiple_round(std::shared_ptr<TaskOutcome> outcome,
-                          SimTime task_start);
-  void run_delayed(std::shared_ptr<TaskOutcome> outcome, SimTime task_start);
-  void finish_task(const TaskOutcome& outcome);
+  void begin_single_round();
+  void begin_multiple_round();
+  void delayed_submit_copy();
+  /// Records the task (incremental Kahan fold, completion order) and
+  /// starts the next one.
+  void finish_task(double latency);
 
   GridSimulation& grid_;
   StrategySpec spec_;
   std::size_t n_tasks_;
   double task_runtime_;
+  bool record_outcomes_;
+
+  // --- hot per-round protocol state, reused across rounds -------------
+  /// Staleness guard: bumped whenever outstanding callbacks must die
+  /// (round settled, timed out, or a new task began). Callbacks capture
+  /// the value at arm time and no-op on mismatch.
+  std::uint64_t round_ = 0;
+  SimTime task_start_ = 0.0;
+  int submissions_ = 0;  ///< copies submitted for the current task
+  WorkloadManager::TicketId ticket_ = 0;             // single
+  std::vector<WorkloadManager::TicketId> tickets_;   // multiple (reused)
+  EventId timeout_event_ = 0;                        // single & multiple
+  std::vector<DelayedCopy> live_;                    // delayed (reused)
+  EventId next_submit_event_ = 0;                    // delayed chain
+  int next_index_ = 0;                               // delayed copy counter
+
+  // --- aggregates -----------------------------------------------------
+  std::size_t completed_ = 0;
+  numerics::KahanAccumulator latency_acc_;
+  numerics::KahanAccumulator submissions_acc_;
   std::vector<TaskOutcome> outcomes_;
 };
 

@@ -1,0 +1,90 @@
+#include "sim/timer_wheel.hpp"
+
+#include <cassert>
+
+namespace gridsub::sim {
+
+TimerWheel::TimerWheel(const TimerWheelConfig& config) : config_(config) {
+  assert(config_.tick_seconds > 0.0);
+  assert(config_.near_ticks >= 1);
+}
+
+bool TimerWheel::try_insert(const TimerEntry& entry) {
+  if (!config_.enabled) return false;
+  const double near_end =
+      cursor_time() + static_cast<double>(config_.near_ticks) * config_.tick_seconds;
+  if (empty() && entry.time >= cursor_time() + range_seconds()) {
+    // Idle wheel, far target: instead of declining (and stranding every
+    // later far event on the heap), restart the window just behind the
+    // target so it files at level 0. The cursor may only move while the
+    // wheel is empty — filed entries' buckets are cursor-relative.
+    const Tick target = tick_of(entry.time);
+    if (target < kMaxTick) {
+      cursor_ = target - config_.near_ticks;
+      if (cursor_ < 0) cursor_ = 0;
+    }
+  }
+  if (!(entry.time >= near_end)) return false;  // near (or NaN): heap
+  if (entry.time >= cursor_time() + range_seconds()) return false;
+  place(entry);
+  return true;
+}
+
+void TimerWheel::place(const TimerEntry& entry) {
+  const Tick tick = tick_of(entry.time);
+  const Tick delta = tick - cursor_;
+  assert(delta >= 0 && delta < kRangeTicks);
+  int level = 0;
+  while ((delta >> ((level + 1) * kLevelBits)) != 0) ++level;
+  rings_[level][static_cast<std::size_t>((tick >> (level * kLevelBits)) & kBucketMask)]
+      .push_back(entry);
+  ++counts_[level];
+}
+
+void TimerWheel::cascade(int level) {
+  auto& bucket =
+      rings_[level][static_cast<std::size_t>((cursor_ >> (level * kLevelBits)) & kBucketMask)];
+  if (bucket.empty()) return;
+  counts_[level] -= bucket.size();
+  scatter_.swap(bucket);  // bucket is now empty; place() may legally refile
+                          // an entry into it (same index, next window)
+  for (const TimerEntry& entry : scatter_) place(entry);
+  scatter_.clear();
+}
+
+void TimerWheel::cascade_due() {
+  // Coarser first: a tick on a level-2 window boundary is also on a
+  // level-1 boundary, and its level-2 entries may need to pass through
+  // the just-cascaded level-1 ring on their way down.
+  if ((cursor_ & ((Tick{1} << (2 * kLevelBits)) - 1)) == 0) cascade(2);
+  if ((cursor_ & kBucketMask) == 0) cascade(1);
+}
+
+void TimerWheel::rotate_into(std::vector<TimerEntry>& out) {
+  assert(!empty());
+  for (;;) {
+    cascade_due();
+    if (counts_[0] > 0) {
+      auto& bucket = rings_[0][static_cast<std::size_t>(cursor_ & kBucketMask)];
+      if (!bucket.empty()) {
+        counts_[0] -= bucket.size();
+        out.insert(out.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+        ++cursor_;
+        return;
+      }
+      ++cursor_;
+      continue;
+    }
+    // Level 0 drained: jump ring-wise. Skipped ticks carry no entries and
+    // no due cascades — the next finer-than-target boundary is exactly the
+    // jump target, so nothing is passed over.
+    if (counts_[1] > 0) {
+      cursor_ = ((cursor_ >> kLevelBits) + 1) << kLevelBits;
+      continue;
+    }
+    cursor_ = ((cursor_ >> (2 * kLevelBits)) + 1) << (2 * kLevelBits);
+  }
+}
+
+}  // namespace gridsub::sim

@@ -1,0 +1,152 @@
+#pragma once
+
+// Hierarchical timer wheel for far-future events.
+//
+// The slot-map heap (event_queue.hpp) is O(log n) per push, which is fine
+// until one simulation hosts 10^5-10^6 strategy clients: the timeout events
+// they arm t_inf ~ 900-1500 s ahead — and usually cancel before they fire —
+// then dominate the heap, and every push pays log(live timeouts) of
+// cache-missing sift-up. A calendar structure makes the arm/cancel cycle
+// O(1): far events land in coarse time buckets and only the bucket that
+// rotates due is ever heapified, so an armed-then-canceled timeout never
+// touches the heap at all (the ytsaurus delayed_executor submit/cancel
+// contract, applied to a DES).
+//
+// Shape: kLevels rings of kBucketsPerLevel buckets each. A level-0 bucket
+// spans one tick (config.tick_seconds); each higher level is
+// kBucketsPerLevel times coarser. An entry is filed by its distance from
+// the cursor (the absolute tick below which the owner's heap has taken
+// over): under 64 ticks -> level 0, under 64^2 -> level 1, under 64^3 ->
+// level 2. When the cursor crosses a higher-level bucket's window start,
+// that bucket cascades: its entries re-file into finer rings, reaching
+// level 0 by the time they are due. rotate_into() hands the owner the
+// earliest non-empty level-0 bucket; empty stretches are skipped ring-wise
+// (per-level occupancy counts), so an idle wheel never walks ticks one by
+// one.
+//
+// Determinism: the wheel stores the same (time, seq, slot, generation)
+// entries the heap orders, untouched. Bucketing only affects *when* an
+// entry is handed back for heapification, never its (time, seq) rank, and
+// the owner promotes every bucket whose window could precede the heap top
+// before answering pop()/next_time() — so the pop sequence, including the
+// FIFO tie-break among simultaneous events, is byte-identical to a
+// heap-only build. Cancellation stays in the owner's slot map; canceled
+// residue in buckets is filtered at promotion and bounded by the owner's
+// compaction sweep (erase_if), exactly like heap residue.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gridsub::sim {
+
+/// Simulation clock time (seconds); mirrors event_queue.hpp's alias
+/// without pulling the queue in.
+using WheelTime = double;
+
+/// One pending event as the queue's heap stores it: absolute time, a
+/// monotone push sequence (FIFO tie-break), and the generation-checked
+/// slot-map handle pieces.
+struct TimerEntry {
+  WheelTime time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t generation;
+};
+
+struct TimerWheelConfig {
+  /// Master switch: disabled, try_insert() always declines and the owner
+  /// runs heap-only (the byte-identity reference path).
+  bool enabled = true;
+  /// Level-0 bucket width in simulated seconds. 64 s keeps the paper's
+  /// timeout regime (t_inf ~ 900-1500 s) 14-23 buckets out — far enough
+  /// that armed-then-canceled timeouts die in their bucket, fine enough
+  /// that a promoted bucket heapifies a small batch.
+  double tick_seconds = 64.0;
+  /// Events closer than this many ticks to the cursor stay on the owner's
+  /// heap: they are about to fire, so bucketing them would just add a
+  /// promotion hop to the hot path.
+  int near_ticks = 4;
+};
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(const TimerWheelConfig& config = {});
+
+  /// Files `entry` if it belongs in the wheel: enabled, at or beyond the
+  /// near horizon, and within the covered range. Returns false — keep it
+  /// on the heap — otherwise. An idle (empty) wheel re-anchors its cursor
+  /// first, so a far timeout armed after a long quiet stretch still gets
+  /// fine-grained buckets.
+  bool try_insert(const TimerEntry& entry);
+
+  /// Entries currently filed, canceled residue included.
+  [[nodiscard]] std::size_t size() const {
+    return counts_[0] + counts_[1] + counts_[2];
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Absolute time below which the wheel holds nothing: every filed entry
+  /// has time >= cursor_time(). The owner's heap must win outright
+  /// (top.time < cursor_time()) before a pop may skip promotion.
+  [[nodiscard]] WheelTime cursor_time() const {
+    return static_cast<WheelTime>(cursor_) * config_.tick_seconds;
+  }
+
+  /// Appends the earliest non-empty level-0 bucket's entries to `out`
+  /// (cascading coarser rings as their windows come due) and advances the
+  /// cursor past that bucket. Requires !empty().
+  void rotate_into(std::vector<TimerEntry>& out);
+
+  /// Drops every filed entry for which `dead` returns true; returns the
+  /// number removed. The owner calls this from its compaction sweep so
+  /// canceled residue stays O(live).
+  template <typename Pred>
+  std::size_t erase_if(Pred dead) {
+    std::size_t removed = 0;
+    for (int level = 0; level < kLevels; ++level) {
+      for (auto& bucket : rings_[level]) {
+        const std::size_t before = bucket.size();
+        std::erase_if(bucket, dead);
+        removed += before - bucket.size();
+        counts_[level] -= before - bucket.size();
+      }
+    }
+    return removed;
+  }
+
+  /// Range covered from the cursor, in seconds (beyond it: heap).
+  [[nodiscard]] double range_seconds() const {
+    return static_cast<double>(kRangeTicks) * config_.tick_seconds;
+  }
+
+ private:
+  using Tick = std::int64_t;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kLevels = 3;
+  static constexpr Tick kBucketsPerLevel = Tick{1} << kLevelBits;
+  static constexpr Tick kBucketMask = kBucketsPerLevel - 1;
+  static constexpr Tick kRangeTicks = Tick{1} << (kLevels * kLevelBits);
+  /// Ticks beyond 2^52 lose integer resolution in a double; times out
+  /// there (e.g. the benches' 1e18 sentinel daemons) stay on the heap.
+  static constexpr Tick kMaxTick = Tick{1} << 52;
+
+  [[nodiscard]] Tick tick_of(WheelTime time) const {
+    return static_cast<Tick>(time / config_.tick_seconds);
+  }
+  /// Files an entry (already known to be in [cursor, cursor + range)).
+  void place(const TimerEntry& entry);
+  /// Re-files the due level-`level` bucket into finer rings.
+  void cascade(int level);
+  /// Runs every cascade the current cursor position is due for.
+  void cascade_due();
+
+  TimerWheelConfig config_;
+  Tick cursor_ = 0;
+  std::array<std::vector<TimerEntry>, kBucketsPerLevel> rings_[kLevels];
+  std::size_t counts_[kLevels] = {0, 0, 0};
+  std::vector<TimerEntry> scatter_;  ///< cascade scratch (reused, no alloc)
+};
+
+}  // namespace gridsub::sim
