@@ -1,0 +1,242 @@
+// Advisor serving throughput (ROADMAP "long-lived strategy-advisor
+// service"): how fast can advise() answer while ingestion and snapshot
+// publication keep running?
+//
+// Setup: a synthetic diurnal scenario week is replayed through
+// serve::replay_feed (2 ingest threads, background refresher live) to
+// warm one planner per (VO, site, user-class) key; pass an SWF archive
+// path as argv[1] to warm from a real trace instead. Then three
+// sections:
+//
+//   1. Lookup throughput at 1/2/8 reader threads. Each reader owns one
+//      hazard slot and hammers advise() over the key universe for a
+//      fixed wall window while 2 writer threads keep ingesting and the
+//      background refresher keeps swapping snapshots — so the number is
+//      serving-under-load, not an idle cache walk. Every answer's stamp
+//      is re-verified (torn reads would be counted and reported; the
+//      column must read 0).
+//   2. Snapshot-swap latency: wall time of refresh_now() folding a full
+//      batch of dirty keys into a freshly published snapshot.
+//   3. Staleness: observations folded per swap (last/max) from
+//      AdvisorStats — the freshness price of batching ingestion.
+//
+// Wall-clock numbers are intentionally reported here and NOT through
+// campaign CellMetrics (campaign output is byte-identical by contract;
+// throughput is not). GRIDSUB_BENCH_QUICK=1 shrinks the measurement
+// windows, never the reader-count axis.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "serve/advisor.hpp"
+#include "serve/replay_feed.hpp"
+#include "traces/scenarios.hpp"
+#include "traces/swf.hpp"
+
+namespace {
+
+using namespace gridsub;
+using Clock = std::chrono::steady_clock;
+
+struct QpsPoint {
+  std::size_t readers = 0;
+  std::uint64_t lookups = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t torn = 0;
+};
+
+/// Hammers advise() from `n_readers` threads for `window_seconds` while
+/// `service` keeps ingesting in the background.
+QpsPoint measure_qps(serve::AdvisorService& service,
+                     const std::vector<serve::AdvisorKey>& keys,
+                     std::size_t n_readers, double window_seconds) {
+  QpsPoint point;
+  point.readers = n_readers;
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  readers.reserve(n_readers);
+  for (std::size_t r = 0; r < n_readers; ++r) {
+    readers.emplace_back([&, r] {
+      serve::AdvisorService::Reader reader(service);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t count = 0;
+      std::uint64_t bad = 0;
+      std::size_t at = r;
+      while (!done.load(std::memory_order_relaxed)) {
+        const serve::Advice a = reader.advise(keys[at % keys.size()]);
+        if (serve::advice_stamp(a) != a.stamp) ++bad;
+        ++at;
+        ++count;
+      }
+      lookups.fetch_add(count, std::memory_order_relaxed);
+      torn.fetch_add(bad, std::memory_order_relaxed);
+    });
+  }
+
+  const Clock::time_point start = Clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_seconds));
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  point.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  point.lookups = lookups.load();
+  point.torn = torn.load();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "advisor-qps",
+      "§7.2 online estimation, served: keyed planners behind lock-free "
+      "snapshot lookups",
+      "lookup throughput is wall-clock and machine-dependent; the torn "
+      "column is a correctness gate and must be 0");
+
+  const bool quick = bench::quick_mode();
+
+  // --- workload ----------------------------------------------------------
+  traces::Workload workload = [&] {
+    if (argc > 1) {
+      std::cout << "warming from SWF archive: " << argv[1] << "\n\n";
+      return traces::read_swf_file(argv[1]);
+    }
+    traces::ScenarioConfig scenario;
+    scenario.duration = quick ? 14400.0 : 86400.0;
+    scenario.base_rate = 0.25;
+    scenario.runtime_mean = 600.0;
+    return traces::make_scenario("diurnal-week", scenario);
+  }();
+
+  serve::AdvisorConfig config;
+  config.planner.window = 200;
+  config.planner.min_observations = 60;
+  config.planner.refit_interval = 60;
+  config.planner.model_step = 20.0;
+  config.planner.timeout = 4000.0;
+  config.refresh_pending = 128;
+  serve::AdvisorService service(config);
+  service.start_refresher();
+
+  serve::ReplayFeedConfig feed;
+  feed.ingest_threads = 2;
+  const Clock::time_point warm_start = Clock::now();
+  const serve::ReplayFeedReport report =
+      serve::replay_feed(service, workload, feed);
+  const double warm_seconds =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+  std::cout << "warm ingest: " << report.jobs << " jobs -> " << report.keys
+            << " keys (" << report.completed << " completed, "
+            << report.outliers << " outliers) in " << warm_seconds
+            << " s, 2 ingest threads + background refresher\n\n";
+
+  // Key universe for the lookup loops, in deterministic order.
+  std::set<serve::AdvisorKey> key_set;
+  {
+    std::size_t index = 0;
+    for (const traces::WorkloadJob& job : workload.jobs()) {
+      key_set.insert(serve::key_for_job(job, index++, feed));
+    }
+  }
+  const std::vector<serve::AdvisorKey> keys(key_set.begin(), key_set.end());
+
+  // --- 1. lookup throughput under load -----------------------------------
+  // Two writers keep every key's planner dirty (ingesting mid-range
+  // latencies round-robin) so the refresher publishes fresh snapshots
+  // throughout the measurement window.
+  std::atomic<bool> stop_writers{false};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < 2; ++w) {
+    writers.emplace_back([&service, &keys, &stop_writers, w] {
+      std::size_t at = w;
+      std::uint64_t tick = 0;
+      while (!stop_writers.load(std::memory_order_relaxed)) {
+        service.ingest(keys[at % keys.size()],
+                       500.0 + static_cast<double>(tick % 40));
+        at += 2;
+        ++tick;
+      }
+    });
+  }
+
+  const double window_seconds = quick ? 0.4 : 2.0;
+  std::vector<QpsPoint> points;
+  for (const std::size_t n_readers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    points.push_back(measure_qps(service, keys, n_readers, window_seconds));
+  }
+  stop_writers.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+
+  report::Table qps({"readers", "lookups", "wall (s)", "lookups/s", "torn"});
+  for (const QpsPoint& p : points) {
+    qps.row()
+        .cell(static_cast<long long>(p.readers))
+        .cell(static_cast<long long>(p.lookups))
+        .cell(p.wall_seconds, 3)
+        .cell(static_cast<double>(p.lookups) / p.wall_seconds, 0)
+        .cell(static_cast<long long>(p.torn));
+  }
+  std::cout << "lock-free lookups while 2 writers ingest and the "
+               "refresher swaps snapshots:\n";
+  qps.print(std::cout);
+  std::cout << '\n';
+
+  // --- 2. snapshot-swap latency ------------------------------------------
+  // Dirty every key, then time the fold-and-publish. Repeated so the
+  // mean is not one allocation hiccup.
+  service.stop_refresher();
+  const int swap_rounds = quick ? 5 : 20;
+  double swap_total = 0.0;
+  double swap_max = 0.0;
+  for (int round = 0; round < swap_rounds; ++round) {
+    for (const serve::AdvisorKey& key : keys) {
+      service.ingest(key, 500.0 + static_cast<double>(round % 40));
+    }
+    const Clock::time_point t0 = Clock::now();
+    (void)service.refresh_now();
+    const double swap_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    swap_total += swap_seconds;
+    swap_max = swap_seconds > swap_max ? swap_seconds : swap_max;
+  }
+
+  // --- 3. staleness -------------------------------------------------------
+  const serve::AdvisorStats stats = service.stats();
+  report::Table svc({"keys", "snapshots", "generation", "swap mean (ms)",
+                     "swap max (ms)", "staleness last", "staleness max"});
+  svc.row()
+      .cell(static_cast<long long>(stats.keys))
+      .cell(static_cast<long long>(stats.swaps))
+      .cell(static_cast<long long>(stats.generation))
+      .cell(1e3 * swap_total / swap_rounds, 3)
+      .cell(1e3 * swap_max, 3)
+      .cell(static_cast<long long>(stats.staleness_last))
+      .cell(static_cast<long long>(stats.staleness_max));
+  std::cout << "snapshot publication (swap = fold all " << keys.size()
+            << " dirty keys + atomic pointer swap; staleness = "
+               "observations folded per swap):\n";
+  svc.print(std::cout);
+
+  std::uint64_t torn_total = 0;
+  for (const QpsPoint& p : points) torn_total += p.torn;
+  if (torn_total != 0) {
+    std::cerr << "FAIL: " << torn_total << " torn reads detected\n";
+    return 1;
+  }
+  return 0;
+}

@@ -119,9 +119,10 @@ class RealTree(unittest.TestCase):
         self.assertEqual(code, 0, f"default scan must stay clean:\n{out}")
 
     def test_simulation_core_is_covered(self):
-        # The DES core and online layer feed every trajectory; they must
-        # stay inside the default scan, not just the reporting modules.
-        for module in ("src/sim", "src/online"):
+        # The DES core, online layer, and serving layer feed every
+        # trajectory and every published snapshot; they must stay inside
+        # the default scan, not just the reporting modules.
+        for module in ("src/sim", "src/online", "src/serve"):
             self.assertIn(module, lint_determinism.DEFAULT_DIRS)
 
     def test_list_rules_matches_table(self):

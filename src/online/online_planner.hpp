@@ -43,6 +43,13 @@ class OnlinePlanner {
   OnlinePlanner(const OnlinePlanner&) = delete;
   OnlinePlanner& operator=(const OnlinePlanner&) = delete;
 
+  // Movable so keyed registries (serve::AdvisorService) can hold planners
+  // by value through container moves/rehashes without resetting fit
+  // state. The planner_ holds a reference to *model_ (not into this
+  // object), so the defaulted member-wise move keeps it valid.
+  OnlinePlanner(OnlinePlanner&&) = default;
+  OnlinePlanner& operator=(OnlinePlanner&&) = default;
+
   /// Feeds one completed probe latency (seconds, in [0, timeout)).
   void observe_completed(double latency);
   /// Feeds one outlier/fault (probe canceled at the timeout).

@@ -1,0 +1,356 @@
+#include "serve/advisor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/json_util.hpp"
+
+namespace gridsub::serve {
+
+namespace {
+
+/// FNV-1a over the eight bytes of one word.
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t advice_stamp(const Advice& a) {
+  std::uint64_t h = 14695981039346656037ull;
+  fnv_mix(h, a.ready ? 1u : 0u);
+  fnv_mix(h, a.drifted ? 1u : 0u);
+  fnv_mix(h, static_cast<std::uint64_t>(a.kind));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(a.t0));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(a.t_inf));
+  fnv_mix(h, static_cast<std::uint64_t>(a.b));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(a.expectation));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(a.delta_cost));
+  fnv_mix(h, a.entry_generation);
+  return h;
+}
+
+// --------------------------------------------------------------------------
+// AdvisorSnapshot
+// --------------------------------------------------------------------------
+
+const AdvisorEntry* AdvisorSnapshot::find(const AdvisorKey& key) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const AdvisorEntry& e, const AdvisorKey& k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+void AdvisorSnapshot::write_json(std::ostream& os) const {
+  using exp::detail::json_escape;
+  using exp::detail::json_number;
+  os << "{\n  \"advisor\": {\n    \"fallback_t_inf\": ";
+  json_number(os, fallback.t_inf);
+  os << ",\n    \"observations\": " << observations;
+  os << ",\n    \"keys\": [";
+  bool first = true;
+  for (const AdvisorEntry& e : entries) {
+    os << (first ? "\n" : ",\n") << "      {\"vo\": ";
+    first = false;
+    json_escape(os, e.key.vo);
+    os << ", \"site\": ";
+    json_escape(os, e.key.site);
+    os << ", \"user_class\": ";
+    json_escape(os, e.key.user_class);
+    os << ", \"ready\": " << (e.advice.ready ? "true" : "false")
+       << ", \"drifted\": " << (e.advice.drifted ? "true" : "false")
+       << ", \"observations\": " << e.observations
+       << ", \"refits\": " << e.refits << ", \"drift_statistic\": ";
+    json_number(os, e.drift_statistic);
+    os << ", \"outlier_ratio\": ";
+    json_number(os, e.outlier_ratio);
+    os << ",\n       \"kind\": ";
+    json_escape(os, core::to_string(e.advice.kind));
+    os << ", \"t0\": ";
+    json_number(os, e.advice.t0);
+    os << ", \"t_inf\": ";
+    json_number(os, e.advice.t_inf);
+    os << ", \"b\": " << e.advice.b << ", \"expectation\": ";
+    json_number(os, e.advice.expectation);
+    os << ", \"delta_cost\": ";
+    json_number(os, e.advice.delta_cost);
+    os << "}";
+  }
+  os << (first ? "]" : "\n    ]") << "\n  }\n}\n";
+}
+
+// --------------------------------------------------------------------------
+// AdvisorService: construction / teardown
+// --------------------------------------------------------------------------
+
+AdvisorService::AdvisorService(AdvisorConfig config)
+    : config_(std::move(config)) {
+  if (!(config_.fallback_t_inf > 0.0)) {
+    throw std::invalid_argument("AdvisorService: fallback_t_inf <= 0");
+  }
+  if (config_.refresh_pending == 0) {
+    throw std::invalid_argument("AdvisorService: refresh_pending == 0");
+  }
+  // Validate the planner config eagerly (OnlinePlanner's constructor
+  // checks it) so a bad config fails at service construction, not at the
+  // first ingest of some unlucky key.
+  (void)online::OnlinePlanner(config_.planner);
+
+  // Publish the empty generation-0 snapshot so advise() never sees a null
+  // pointer: before any refresh, every key answers with the fallback.
+  auto initial = std::make_unique<AdvisorSnapshot>();
+  initial->fallback.t_inf = config_.fallback_t_inf;
+  initial->fallback.stamp = advice_stamp(initial->fallback);
+  const AdvisorSnapshot* raw = initial.get();
+  {
+    const core::MutexLock lock(mu_);
+    owned_.push_back(std::move(initial));
+  }
+  current_.store(raw, std::memory_order_seq_cst);
+}
+
+AdvisorService::~AdvisorService() {
+  stop_refresher();
+  assert(readers_.load(std::memory_order_seq_cst) == 0 &&
+         "AdvisorService destroyed with live Readers");
+}
+
+// --------------------------------------------------------------------------
+// Ingestion
+// --------------------------------------------------------------------------
+
+void AdvisorService::ingest(const AdvisorKey& key, double latency) {
+  if (!(latency >= 0.0) || latency >= config_.planner.timeout) {
+    throw std::invalid_argument(
+        "AdvisorService::ingest: latency outside [0, timeout)");
+  }
+  ingest_one(key, latency, true);
+}
+
+void AdvisorService::ingest_outlier(const AdvisorKey& key) {
+  ingest_one(key, 0.0, false);
+}
+
+void AdvisorService::ingest_one(const AdvisorKey& key, double latency,
+                                bool completed) {
+  bool wake = false;
+  {
+    const core::MutexLock lock(mu_);
+    auto it = keys_.find(key);
+    if (it == keys_.end()) {
+      it = keys_.emplace(key, KeyState(config_.planner)).first;
+    }
+    KeyState& state = it->second;
+    if (completed) {
+      state.planner.observe_completed(latency);
+    } else {
+      state.planner.observe_outlier();
+    }
+    ++state.observations;
+    state.dirty = true;
+    ++observations_;
+    ++pending_;
+    wake = pending_ >= config_.refresh_pending;
+  }
+  if (wake) wake_.notify_one();
+}
+
+// --------------------------------------------------------------------------
+// Snapshot build + publication
+// --------------------------------------------------------------------------
+
+std::uint64_t AdvisorService::rebuild_and_swap() {
+  if (pending_ == 0) return generation_;
+  const std::uint64_t next_gen = generation_ + 1;
+  auto snap = std::make_unique<AdvisorSnapshot>();
+  snap->generation = next_gen;
+  snap->observations = observations_;
+  snap->fallback.t_inf = config_.fallback_t_inf;
+  snap->fallback.generation = next_gen;
+  snap->fallback.stamp = advice_stamp(snap->fallback);
+  snap->entries.reserve(keys_.size());
+  // std::map iteration: entries come out key-sorted, so find() can binary
+  // search and the JSON dump is deterministic.
+  for (auto& [key, state] : keys_) {
+    if (state.dirty) {
+      state.changed_generation = next_gen;
+      state.dirty = false;
+    }
+    AdvisorEntry e;
+    e.key = key;
+    e.observations = state.observations;
+    e.refits = state.planner.refits();
+    e.drift_statistic = state.planner.drift_statistic();
+    e.outlier_ratio = state.planner.window_outlier_ratio();
+    Advice a;
+    a.generation = next_gen;
+    a.entry_generation = state.changed_generation;
+    if (state.planner.ready()) {
+      const core::CostEvaluation& c = state.planner.current().choice;
+      a.ready = true;
+      a.drifted = state.planner.drifted();
+      a.kind = c.kind;
+      a.t0 = c.t0;
+      a.t_inf = c.t_inf;
+      a.b = c.b;
+      a.expectation = c.expectation;
+      a.delta_cost = c.delta_cost;
+    } else {
+      // Not ready: the documented fallback, stamped with this entry's
+      // generation so the torn-read canary still binds it to one build.
+      a.t_inf = config_.fallback_t_inf;
+    }
+    a.stamp = advice_stamp(a);
+    e.advice = a;
+    snap->entries.push_back(std::move(e));
+  }
+
+  staleness_last_ = pending_;
+  staleness_max_ = std::max(staleness_max_, pending_);
+  pending_ = 0;
+  generation_ = next_gen;
+  ++swaps_;
+
+  const AdvisorSnapshot* raw = snap.get();
+  owned_.push_back(std::move(snap));
+  current_.store(raw, std::memory_order_seq_cst);
+  reclaim_retired();
+  return next_gen;
+}
+
+void AdvisorService::reclaim_retired() {
+  const AdvisorSnapshot* live = current_.load(std::memory_order_seq_cst);
+  std::erase_if(owned_, [&](const std::unique_ptr<const AdvisorSnapshot>& s) {
+    if (s.get() == live) return false;
+    for (const HazardSlot& slot : slots_) {
+      if (slot.pinned.load(std::memory_order_seq_cst) == s.get()) {
+        return false;  // a reader still pins it; retry at the next swap
+      }
+    }
+    return true;
+  });
+}
+
+std::uint64_t AdvisorService::refresh_now() {
+  const core::MutexLock lock(mu_);
+  return rebuild_and_swap();
+}
+
+// --------------------------------------------------------------------------
+// Background refresher
+// --------------------------------------------------------------------------
+
+void AdvisorService::start_refresher() {
+  if (refresher_.joinable()) return;
+  {
+    const core::MutexLock lock(mu_);
+    stop_refresher_ = false;
+  }
+  refresher_ = std::thread([this] { refresher_main(); });
+}
+
+void AdvisorService::stop_refresher() {
+  if (!refresher_.joinable()) return;
+  {
+    const core::MutexLock lock(mu_);
+    stop_refresher_ = true;
+  }
+  wake_.notify_all();
+  refresher_.join();
+  refresher_ = std::thread();
+}
+
+void AdvisorService::refresher_main() {
+  const core::MutexLock lock(mu_);
+  for (;;) {
+    wake_.wait(mu_, [this]() GRIDSUB_REQUIRES(mu_) {
+      return stop_refresher_ || pending_ >= config_.refresh_pending;
+    });
+    if (stop_refresher_) return;
+    rebuild_and_swap();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Lock-free lookups
+// --------------------------------------------------------------------------
+
+AdvisorService::Reader::Reader(AdvisorService& service)
+    : service_(&service), slot_(nullptr) {
+  for (HazardSlot& slot : service.slots_) {
+    bool expected = false;
+    if (slot.claimed.compare_exchange_strong(expected, true,
+                                             std::memory_order_seq_cst)) {
+      slot_ = &slot;
+      break;
+    }
+  }
+  if (slot_ == nullptr) {
+    throw std::runtime_error("AdvisorService: kMaxReaders already registered");
+  }
+  service.readers_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+AdvisorService::Reader::~Reader() {
+  slot_->pinned.store(nullptr, std::memory_order_seq_cst);
+  slot_->claimed.store(false, std::memory_order_seq_cst);
+  service_->readers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+Advice AdvisorService::Reader::advise(const AdvisorKey& key) const {
+  // Hazard-pointer pin: publish the candidate, then re-check that it is
+  // still current. If a swap raced in between, retry with the new pointer
+  // — the loop advances every time the refresher publishes, so it is
+  // lock-free (and in practice converges in one or two iterations; swaps
+  // are rare next to lookups). seq_cst keeps the pin store ordered before
+  // the validating load, which is what the writer-side scan in
+  // reclaim_retired() relies on.
+  const AdvisorSnapshot* snap =
+      service_->current_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->pinned.store(snap, std::memory_order_seq_cst);
+    const AdvisorSnapshot* check =
+        service_->current_.load(std::memory_order_seq_cst);
+    if (check == snap) break;
+    snap = check;
+  }
+  const AdvisorEntry* entry = snap->find(key);
+  Advice advice = entry != nullptr ? entry->advice : snap->fallback;
+  advice.generation = snap->generation;
+  slot_->pinned.store(nullptr, std::memory_order_release);
+  return advice;
+}
+
+// --------------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------------
+
+AdvisorStats AdvisorService::stats() const {
+  const core::MutexLock lock(mu_);
+  AdvisorStats s;
+  s.generation = generation_;
+  s.swaps = swaps_;
+  s.observations = observations_;
+  s.pending = pending_;
+  s.staleness_last = staleness_last_;
+  s.staleness_max = staleness_max_;
+  s.keys = keys_.size();
+  s.readers = readers_.load(std::memory_order_seq_cst);
+  return s;
+}
+
+void AdvisorService::dump_json(std::ostream& os) const {
+  const core::MutexLock lock(mu_);
+  // Swaps happen under mu_, so the loaded pointer stays live while held.
+  current_.load(std::memory_order_seq_cst)->write_json(os);
+}
+
+}  // namespace gridsub::serve

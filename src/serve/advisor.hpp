@@ -1,0 +1,282 @@
+#pragma once
+
+// Strategy-advisor service (ROADMAP "long-lived strategy-advisor
+// service"): the paper's end product turned into a server-shaped
+// subsystem. Probe-latency observations stream in per (VO, site,
+// user-class) key — the keyed split the LPC workload analysis motivates:
+// per-user/per-VO arrival regimes differ enough that one global
+// recommendation is wrong — and each key maintains its own
+// online::OnlinePlanner (sliding window, periodic refit, drift flag).
+// Clients ask "what (t0, t∞, b) should I use right now?" via advise().
+//
+// The serving side is built around *immutable snapshot publication*:
+//
+//   * A refresher (background thread or explicit refresh_now()) folds the
+//     per-key planner states into an AdvisorSnapshot — a sorted, immutable
+//     value — and publishes it with one atomic pointer swap. Snapshots are
+//     generation-numbered; generations are strictly monotone.
+//   * Readers never take a lock. advise() pins the current snapshot with a
+//     hazard-pointer slot (one cache line per registered Reader), binary-
+//     searches the sorted entries, and copies out a plain-old-data Advice.
+//     The ingest mutex, the refresher, and snapshot reclamation are all
+//     invisible to the advise() path.
+//   * Reclamation is writer-side: retired snapshots are freed on the next
+//     swap once no hazard slot still pins them, so a reader mid-lookup
+//     keeps its snapshot alive without reference counting.
+//
+// Every Advice carries a writer-side FNV stamp over its payload fields;
+// recomputing it reader-side (advice_stamp) proves the answer was copied
+// from exactly one published entry — the torn-read canary the concurrency
+// suite leans on.
+//
+// Determinism contract (docs/architecture.md): the *final* snapshot after
+// ingestion has drained and a last refresh ran is a pure function of the
+// per-key observation sequences — independent of ingest thread count,
+// reader count, and how often the background refresher swapped along the
+// way. write_json() therefore emits only that deterministic advice
+// payload; serving metadata (generation, staleness) lives in stats().
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/strategy.hpp"
+#include "core/thread_annotations.hpp"
+#include "online/online_planner.hpp"
+
+namespace gridsub::serve {
+
+/// Routing key for keyed planner state. Ordered lexicographically
+/// (vo, site, user_class) so snapshots and JSON dumps are deterministic.
+struct AdvisorKey {
+  std::string vo;
+  std::string site;
+  std::string user_class;
+
+  friend bool operator==(const AdvisorKey&, const AdvisorKey&) = default;
+  friend auto operator<=>(const AdvisorKey&, const AdvisorKey&) = default;
+};
+
+struct AdvisorConfig {
+  /// Per-key planner settings (window, refit cadence, drift threshold).
+  online::OnlinePlannerConfig planner;
+  /// Timeout of the documented fallback: until a key has enough
+  /// observations to be ready, advise() returns plain single resubmission
+  /// at this conservative timeout (the paper's untuned behaviour).
+  double fallback_t_inf = 900.0;
+  /// Pending observations that wake the background refresher. Larger
+  /// values batch more ingestion per snapshot swap (higher staleness,
+  /// fewer rebuilds).
+  std::size_t refresh_pending = 64;
+};
+
+/// What advise() hands back: a plain copyable value, no allocation.
+struct Advice {
+  bool ready = false;    ///< false = fallback (key unknown or not ready)
+  bool drifted = false;  ///< planner drift flag at snapshot build time
+  core::StrategyKind kind = core::StrategyKind::kSingleResubmission;
+  double t0 = 0.0;
+  double t_inf = 0.0;
+  int b = 1;
+  double expectation = 0.0;
+  double delta_cost = 1.0;
+  /// Generation of the snapshot that answered (strictly monotone per
+  /// service; a reader observes a non-decreasing sequence).
+  std::uint64_t generation = 0;
+  /// Generation whose refresh last rebuilt this entry (0 = fallback).
+  std::uint64_t entry_generation = 0;
+  /// Writer-side FNV-1a over the payload fields above (advice_stamp);
+  /// recompute to prove the read was not torn across a swap.
+  std::uint64_t stamp = 0;
+};
+
+/// Recomputes the writer-side stamp from the payload fields (everything
+/// except `generation` and `stamp` itself, which vary per snapshot while
+/// the entry is reused). Equal to `a.stamp` for any untorn Advice.
+[[nodiscard]] std::uint64_t advice_stamp(const Advice& a);
+
+/// One key's published state inside a snapshot.
+struct AdvisorEntry {
+  AdvisorKey key;
+  Advice advice;                    ///< payload advise() copies out
+  std::uint64_t observations = 0;   ///< per-key ingested total at build
+  std::uint64_t refits = 0;         ///< planner refits at build
+  double drift_statistic = 0.0;
+  double outlier_ratio = 0.0;
+};
+
+/// Immutable published state: sorted entries + the fallback advice.
+/// Never mutated after publication — readers share it without locks.
+struct AdvisorSnapshot {
+  std::uint64_t generation = 0;
+  std::uint64_t observations = 0;  ///< total observations folded in
+  Advice fallback;                 ///< returned for unknown/not-ready keys
+  std::vector<AdvisorEntry> entries;  ///< sorted by key
+
+  /// Binary search; nullptr when the key has no entry.
+  [[nodiscard]] const AdvisorEntry* find(const AdvisorKey& key) const;
+
+  /// Deterministic advice payload as JSON (sorted keys, to_chars
+  /// numbers). Serving metadata — generation, staleness — is excluded on
+  /// purpose: the dump must be byte-identical however many ingest threads
+  /// and refresher swaps produced the state (see header comment).
+  void write_json(std::ostream& os) const;
+};
+
+/// Serving metadata, read under the service lock (not the advise() path).
+struct AdvisorStats {
+  std::uint64_t generation = 0;        ///< latest published generation
+  std::uint64_t swaps = 0;             ///< snapshot publications so far
+  std::uint64_t observations = 0;      ///< total observations ingested
+  std::uint64_t pending = 0;           ///< ingested since the last swap
+  std::uint64_t staleness_last = 0;    ///< pending folded by the last swap
+  std::uint64_t staleness_max = 0;     ///< max pending any swap folded
+  std::size_t keys = 0;                ///< keyed planners registered
+  std::size_t readers = 0;             ///< live Reader registrations
+};
+
+class AdvisorService {
+ public:
+  /// Hazard-slot capacity: the hard cap on concurrently registered
+  /// Readers. One cache line each; raise freely if a deployment needs
+  /// more reader threads.
+  static constexpr std::size_t kMaxReaders = 64;
+
+  explicit AdvisorService(AdvisorConfig config = {});
+
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// Stops the refresher and frees every snapshot. All Readers must have
+  /// been destroyed first (checked).
+  ~AdvisorService();
+
+  [[nodiscard]] const AdvisorConfig& config() const { return config_; }
+
+  // --- ingestion (any thread) --------------------------------------------
+  //
+  // Observations for one key are folded in call order; *per-key* ordering
+  // across concurrent ingest threads is the caller's contract (the replay
+  // feed partitions keys statically across its threads, so each key only
+  // ever sees one thread). Latency bounds are the planner's:
+  // [0, planner.timeout) or std::invalid_argument.
+
+  void ingest(const AdvisorKey& key, double latency) GRIDSUB_EXCLUDES(mu_);
+  void ingest_outlier(const AdvisorKey& key) GRIDSUB_EXCLUDES(mu_);
+
+  // --- refresh -----------------------------------------------------------
+
+  /// Starts the background refresher: it wakes whenever
+  /// `config().refresh_pending` observations accumulated and publishes a
+  /// fresh snapshot. Idempotent.
+  void start_refresher() GRIDSUB_EXCLUDES(mu_);
+
+  /// Stops and joins the background refresher (pending observations stay
+  /// pending). Idempotent; also called by the destructor.
+  void stop_refresher() GRIDSUB_EXCLUDES(mu_);
+
+  /// Builds and publishes a snapshot now if anything is pending or dirty;
+  /// returns the published generation (unchanged when nothing to do).
+  std::uint64_t refresh_now() GRIDSUB_EXCLUDES(mu_);
+
+  // --- lock-free lookups -------------------------------------------------
+
+ private:
+  struct HazardSlot;  // defined below; Reader holds a pointer to one
+
+ public:
+
+  /// A registered reader: holds one hazard slot for its lifetime. Cheap
+  /// to create per thread; advise() is safe from exactly the thread(s)
+  /// the caller serializes per Reader (one Reader per thread is the
+  /// intended shape — the slot is a single hazard cell).
+  class Reader {
+   public:
+    /// Throws std::runtime_error when kMaxReaders are already registered.
+    explicit Reader(AdvisorService& service);
+    ~Reader();
+
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// Lock-free lookup: pins the current snapshot via the hazard slot,
+    /// copies the entry (or the fallback) out, unpins. Never blocks on
+    /// the ingest mutex or the refresher.
+    [[nodiscard]] Advice advise(const AdvisorKey& key) const;
+
+   private:
+    AdvisorService* service_;
+    HazardSlot* slot_;
+  };
+
+  // --- introspection (locked paths; not for the hot loop) ----------------
+
+  [[nodiscard]] AdvisorStats stats() const GRIDSUB_EXCLUDES(mu_);
+
+  /// Writes the current snapshot's deterministic payload
+  /// (AdvisorSnapshot::write_json) under the service lock.
+  void dump_json(std::ostream& os) const GRIDSUB_EXCLUDES(mu_);
+
+ private:
+  friend class Reader;
+
+  /// Per-key ingest state: the planner plus bookkeeping the snapshot
+  /// builder folds in.
+  struct KeyState {
+    explicit KeyState(const online::OnlinePlannerConfig& config)
+        : planner(config) {}
+    online::OnlinePlanner planner;
+    std::uint64_t observations = 0;
+    /// Generation whose refresh last saw this key dirty (stamped into the
+    /// entry as entry_generation).
+    std::uint64_t changed_generation = 0;
+    bool dirty = true;
+  };
+
+  /// One hazard cell per Reader, padded so readers never false-share.
+  struct alignas(64) HazardSlot {
+    std::atomic<const AdvisorSnapshot*> pinned{nullptr};
+    std::atomic<bool> claimed{false};
+  };
+
+  void ingest_one(const AdvisorKey& key, double latency, bool completed)
+      GRIDSUB_EXCLUDES(mu_);
+  std::uint64_t rebuild_and_swap() GRIDSUB_REQUIRES(mu_);
+  void reclaim_retired() GRIDSUB_REQUIRES(mu_);
+  void refresher_main() GRIDSUB_EXCLUDES(mu_);
+
+  AdvisorConfig config_;
+
+  mutable core::Mutex mu_;
+  /// std::map: deterministic iteration order for the snapshot builder.
+  std::map<AdvisorKey, KeyState> keys_ GRIDSUB_GUARDED_BY(mu_);
+  std::uint64_t observations_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::uint64_t pending_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::uint64_t swaps_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::uint64_t staleness_last_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  std::uint64_t staleness_max_ GRIDSUB_GUARDED_BY(mu_) = 0;
+  bool stop_refresher_ GRIDSUB_GUARDED_BY(mu_) = false;
+  core::CondVar wake_;
+  std::thread refresher_;  ///< start/stop are caller-serialized
+
+  /// Every snapshot ever published and not yet reclaimed; pruned under
+  /// mu_ on each swap once no hazard slot pins the retiree.
+  std::vector<std::unique_ptr<const AdvisorSnapshot>> owned_
+      GRIDSUB_GUARDED_BY(mu_);
+
+  /// The published snapshot. Swapped only under mu_; read lock-free by
+  /// advise().
+  std::atomic<const AdvisorSnapshot*> current_{nullptr};
+  std::array<HazardSlot, kMaxReaders> slots_;
+  std::atomic<std::size_t> readers_{0};
+};
+
+}  // namespace gridsub::serve

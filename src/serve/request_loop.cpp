@@ -1,0 +1,113 @@
+#include "serve/request_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gridsub::serve {
+
+// --------------------------------------------------------------------------
+// InProcessTransport
+// --------------------------------------------------------------------------
+
+InProcessTransport::InProcessTransport(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("InProcessTransport: capacity == 0");
+  }
+}
+
+void InProcessTransport::post(AdvisorRequest request) {
+  {
+    const core::MutexLock lock(mu_);
+    space_free_.wait(mu_, [this]() GRIDSUB_REQUIRES(mu_) {
+      return closed_ || requests_.size() < capacity_;
+    });
+    if (closed_) {
+      throw std::runtime_error("InProcessTransport: post after close");
+    }
+    requests_.push_back(std::move(request));
+  }
+  request_ready_.notify_one();
+}
+
+bool InProcessTransport::next(AdvisorRequest& out) {
+  const core::MutexLock lock(mu_);
+  request_ready_.wait(mu_, [this]() GRIDSUB_REQUIRES(mu_) {
+    return closed_ || !requests_.empty();
+  });
+  if (requests_.empty()) return false;  // closed and drained
+  out = std::move(requests_.front());
+  requests_.pop_front();
+  space_free_.notify_one();
+  return true;
+}
+
+void InProcessTransport::reply(const AdvisorResponse& response) {
+  {
+    const core::MutexLock lock(mu_);
+    responses_.push_back(response);
+  }
+  response_ready_.notify_one();
+}
+
+bool InProcessTransport::take_reply(AdvisorResponse& out) {
+  const core::MutexLock lock(mu_);
+  response_ready_.wait(mu_, [this]() GRIDSUB_REQUIRES(mu_) {
+    return closed_ || !responses_.empty();
+  });
+  if (responses_.empty()) return false;  // closed and drained
+  out = responses_.front();
+  responses_.pop_front();
+  return true;
+}
+
+void InProcessTransport::close() {
+  {
+    const core::MutexLock lock(mu_);
+    closed_ = true;
+  }
+  request_ready_.notify_all();
+  response_ready_.notify_all();
+  space_free_.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// RequestLoop
+// --------------------------------------------------------------------------
+
+RequestLoop::RequestLoop(AdvisorService& service, Transport& transport)
+    : service_(service), transport_(transport), reader_(service) {}
+
+RequestLoop::~RequestLoop() { join(); }
+
+void RequestLoop::run() {
+  AdvisorRequest request;
+  while (transport_.next(request)) {
+    AdvisorResponse response;
+    response.id = request.id;
+    response.type = request.type;
+    switch (request.type) {
+      case AdvisorRequest::Type::kAdvise:
+        response.advice = reader_.advise(request.key);
+        break;
+      case AdvisorRequest::Type::kStats:
+        response.stats = service_.stats();
+        break;
+    }
+    transport_.reply(response);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RequestLoop::start() {
+  if (thread_.joinable()) {
+    throw std::logic_error("RequestLoop: start() called twice");
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void RequestLoop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gridsub::serve

@@ -1,0 +1,127 @@
+#pragma once
+
+// Wire-format-agnostic request loop for the advisor service.
+//
+// The service's network story is deliberately split in two: RequestLoop
+// owns the serve loop (drain requests, call the service, push responses)
+// while Transport owns how request/response structs move — an in-process
+// queue for tests and benches today, a socket or RPC binding tomorrow.
+// Nothing in the loop knows about bytes on a wire, so every test and
+// bench drives the *real* serving path without opening a socket.
+//
+// InProcessTransport is a bounded MPMC queue pair (requests in, responses
+// out) guarded by one annotated mutex; multiple client threads may post
+// concurrently and multiple RequestLoops may serve the same transport.
+// close() unblocks everyone: posters see std::runtime_error, loops and
+// reply-takers drain what is left and stop.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+
+#include "core/thread_annotations.hpp"
+#include "serve/advisor.hpp"
+
+namespace gridsub::serve {
+
+struct AdvisorRequest {
+  enum class Type {
+    kAdvise,  ///< look up the key's current recommendation
+    kStats,   ///< serving metadata (generation, staleness, key count)
+  };
+  Type type = Type::kAdvise;
+  std::uint64_t id = 0;  ///< echoed into the response, caller-chosen
+  AdvisorKey key;        ///< kAdvise only
+};
+
+struct AdvisorResponse {
+  std::uint64_t id = 0;
+  AdvisorRequest::Type type = AdvisorRequest::Type::kAdvise;
+  Advice advice;       ///< kAdvise
+  AdvisorStats stats;  ///< kStats
+};
+
+/// How requests and responses move. Implementations must be safe for
+/// concurrent next()/reply() from several serving threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks for the next request; false = transport closed and drained
+  /// (the serve loop exits).
+  virtual bool next(AdvisorRequest& out) = 0;
+
+  /// Delivers one response.
+  virtual void reply(const AdvisorResponse& response) = 0;
+};
+
+/// In-process Transport: the client half (post / take_reply / close) is
+/// what tests and benches call; the Transport half is what RequestLoop
+/// drains. Bounded: post() blocks once `capacity` requests are queued.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(std::size_t capacity = 1024);
+
+  // Client side.
+  void post(AdvisorRequest request) GRIDSUB_EXCLUDES(mu_);
+  /// Blocks for the next response; false = closed and fully drained.
+  bool take_reply(AdvisorResponse& out) GRIDSUB_EXCLUDES(mu_);
+  /// Idempotent; unblocks every waiter. Queued requests still get served.
+  void close() GRIDSUB_EXCLUDES(mu_);
+
+  // Transport side. Also called without mu_ held; the GRIDSUB_EXCLUDES
+  // attribute cannot sit next to `override` syntactically, so the lock
+  // discipline here is covered by the GUARDED_BY members alone.
+  bool next(AdvisorRequest& out) override;
+  void reply(const AdvisorResponse& response) override;
+
+ private:
+  mutable core::Mutex mu_;
+  std::deque<AdvisorRequest> requests_ GRIDSUB_GUARDED_BY(mu_);
+  std::deque<AdvisorResponse> responses_ GRIDSUB_GUARDED_BY(mu_);
+  bool closed_ GRIDSUB_GUARDED_BY(mu_) = false;
+  const std::size_t capacity_;
+  core::CondVar request_ready_;
+  core::CondVar response_ready_;
+  core::CondVar space_free_;
+};
+
+/// Serves one AdvisorService over one Transport. The loop registers its
+/// own lock-free Reader, so advise requests never touch the ingest mutex.
+/// Several RequestLoops may share a Transport for multi-worker serving.
+class RequestLoop {
+ public:
+  RequestLoop(AdvisorService& service, Transport& transport);
+
+  RequestLoop(const RequestLoop&) = delete;
+  RequestLoop& operator=(const RequestLoop&) = delete;
+
+  /// Joins the serving thread if start() was used (the transport must
+  /// already be closed, or the destructor would block forever — close
+  /// first, as the tests do).
+  ~RequestLoop();
+
+  /// Serves on the calling thread until the transport closes.
+  void run();
+
+  /// Spawns a serving thread running run(). Call at most once.
+  void start();
+
+  /// Joins the serving thread started by start().
+  void join();
+
+  /// Requests answered so far.
+  [[nodiscard]] std::uint64_t served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AdvisorService& service_;
+  Transport& transport_;
+  AdvisorService::Reader reader_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace gridsub::serve

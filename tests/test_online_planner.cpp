@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "stats/fit.hpp"
 #include "traces/datasets.hpp"
 
@@ -146,6 +149,48 @@ TEST(OnlinePlanner, ValidatesConfigAndInputs) {
   OnlinePlanner planner{OnlinePlannerConfig{}};
   EXPECT_THROW(planner.observe_completed(-1.0), std::invalid_argument);
   EXPECT_THROW(planner.observe_completed(20000.0), std::invalid_argument);
+}
+
+TEST(OnlinePlanner, MoveKeepsFitStateThroughContainerRehash) {
+  // Keyed registries (serve::AdvisorService) hold planners by value, so a
+  // container move/rehash must not reset fit state or dangle the internal
+  // model reference. Regression for the planner being copy-deleted *and*
+  // move-less, which forced registries onto unique_ptr indirection.
+  OnlinePlannerConfig config;
+  config.window = 100;
+  config.min_observations = 30;
+  config.refit_interval = 25;
+  config.model_step = 50.0;
+  config.timeout = 4000.0;
+
+  std::vector<OnlinePlanner> planners;
+  planners.reserve(1);  // force reallocation on the second emplace
+  planners.emplace_back(config);
+  for (int i = 0; i < 60; ++i) {
+    planners[0].observe_completed(300.0 + i % 30);
+  }
+  ASSERT_TRUE(planners[0].ready());
+  const std::size_t refits = planners[0].refits();
+  const std::size_t window = planners[0].window_size();
+  const core::Recommendation before = planners[0].current();
+
+  planners.emplace_back(config);  // reallocates: moves planners[0]
+  OnlinePlanner moved = std::move(planners[0]);
+
+  EXPECT_TRUE(moved.ready());
+  EXPECT_EQ(moved.refits(), refits);
+  EXPECT_EQ(moved.window_size(), window);
+  EXPECT_EQ(moved.current().choice.t_inf, before.choice.t_inf);
+  EXPECT_EQ(moved.current().choice.t0, before.choice.t0);
+
+  // The moved-to planner keeps working: its planner_ must still see the
+  // model it owns, so further observations and refits stay coherent.
+  for (int i = 0; i < 50; ++i) {
+    moved.observe_completed(300.0 + i % 30);
+  }
+  EXPECT_GT(moved.refits(), refits);
+  EXPECT_TRUE(moved.ready());
+  EXPECT_GT(moved.model().horizon(), 0.0);
 }
 
 TEST(KsTwoSample, BasicProperties) {
