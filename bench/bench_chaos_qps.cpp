@@ -1,0 +1,229 @@
+// Chaos serving throughput (docs/robustness.md): what does the advisor
+// stack deliver per second while the standard fault schedule is tearing
+// at it — and how much of that traffic degrades?
+//
+// Setup: a synthetic diurnal scenario warms one planner per key through
+// serve::replay_feed under deterministic ingest stalls, with the
+// background refresher live and pause faults installed. Then a fixed
+// request sequence is pushed through a FaultyTransport (drop / delay /
+// duplicate / transient-reply / drop-reply faults at the standard rates)
+// into two RequestLoops, while one writer keeps dirtying a single key —
+// so the other keys age past the staleness bound and the degraded
+// fallback path is genuinely exercised, not idle.
+//
+// Reported: end-to-end requests/s (wall-clock, machine-dependent), the
+// response-status breakdown, the degraded-rate, and the injected-fault
+// census. The torn column re-verifies every answer's stamp and must read
+// 0 — a correctness gate, not a statistic.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/fault_injector.hpp"
+#include "report/table.hpp"
+#include "serve/advisor.hpp"
+#include "serve/replay_feed.hpp"
+#include "serve/request_loop.hpp"
+#include "traces/scenarios.hpp"
+
+namespace {
+
+using namespace gridsub;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kStalenessBound = 8;
+
+/// The standard chaos schedule the robustness docs and the chaos wall
+/// quote: every fault class live at modest rates.
+fault::FaultScheduleConfig standard_schedule() {
+  fault::FaultScheduleConfig c;
+  c.seed = 20090611;
+  c.drop_request = 0.02;
+  c.delay_request = 0.03;
+  c.duplicate_request = 0.01;
+  c.drop_reply = 0.01;
+  c.transient_reply = 0.02;
+  c.ingest_stall = 0.01;
+  c.refresher_pause = 0.25;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "chaos-qps",
+      "robustness: advisor serving throughput and degraded-rate under the "
+      "standard fault schedule",
+      "requests/s is wall-clock and machine-dependent; the torn column is "
+      "a correctness gate and must be 0");
+
+  const bool quick = bench::quick_mode();
+  fault::FaultInjector injector(standard_schedule());
+
+  // --- warm the service under ingest stalls -------------------------------
+  traces::ScenarioConfig scenario;
+  scenario.duration = quick ? 14400.0 : 86400.0;
+  scenario.base_rate = 0.25;
+  scenario.runtime_mean = 600.0;
+  const traces::Workload workload =
+      traces::make_scenario("diurnal-week", scenario);
+
+  serve::AdvisorConfig config;
+  config.planner.window = 200;
+  config.planner.min_observations = 60;
+  config.planner.refit_interval = 60;
+  config.planner.model_step = 20.0;
+  config.planner.timeout = 4000.0;
+  config.refresh_pending = 128;
+  config.staleness_bound = kStalenessBound;
+  config.refresh_fault = injector.refresher_hook();
+  serve::AdvisorService service(config);
+  service.start_refresher();
+
+  serve::ReplayFeedConfig feed;
+  feed.ingest_threads = 2;
+  feed.fault_hook = injector.ingest_hook();
+  const Clock::time_point warm_start = Clock::now();
+  const serve::ReplayFeedReport report =
+      serve::replay_feed(service, workload, feed);
+  const double warm_seconds =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+  std::cout << "warm ingest under stalls: " << report.jobs << " jobs -> "
+            << report.keys << " keys in " << warm_seconds << " s ("
+            << injector.count(fault::FaultClass::kIngestStall)
+            << " stalls injected)\n\n";
+
+  std::set<serve::AdvisorKey> key_set;
+  {
+    std::size_t index = 0;
+    for (const traces::WorkloadJob& job : workload.jobs()) {
+      key_set.insert(serve::key_for_job(job, index++, feed));
+    }
+  }
+  const std::vector<serve::AdvisorKey> keys(key_set.begin(), key_set.end());
+
+  // --- serve a fixed request sequence through the faulty transport --------
+  // One writer dirties only keys[0], so refresher generations keep
+  // advancing while every other key ages toward the staleness bound.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    std::uint64_t tick = 0;
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      service.ingest(keys[0], 500.0 + static_cast<double>(tick % 40));
+      ++tick;
+    }
+  });
+
+  const std::uint64_t total_requests = quick ? 20000 : 100000;
+  serve::InProcessTransport inner(1024);
+  fault::FaultyTransport faulty(inner, injector);
+  constexpr std::size_t kLoops = 2;
+  std::vector<std::unique_ptr<serve::RequestLoop>> loops;
+  for (std::size_t i = 0; i < kLoops; ++i) {
+    loops.push_back(std::make_unique<serve::RequestLoop>(service, faulty));
+  }
+
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t torn = 0;
+  std::thread taker([&] {
+    serve::AdvisorResponse r;
+    while (inner.take_reply(r)) {
+      switch (r.status) {
+        case serve::ResponseStatus::kOk:
+          ++ok;
+          break;
+        case serve::ResponseStatus::kDegraded:
+          ++degraded;
+          break;
+        case serve::ResponseStatus::kDeadlineExceeded:
+          ++deadline;
+          continue;  // no payload to verify
+        case serve::ResponseStatus::kInternalError:
+          continue;
+      }
+      if (serve::advice_stamp(r.advice) != r.advice.stamp) ++torn;
+    }
+  });
+
+  const Clock::time_point serve_start = Clock::now();
+  for (auto& loop : loops) loop->start();
+  for (std::uint64_t id = 0; id < total_requests; ++id) {
+    serve::AdvisorRequest r;
+    r.id = id;
+    r.key = keys[id % keys.size()];
+    if (id % 17 == 0) r.deadline = 2;
+    inner.post(r);
+  }
+  inner.close();
+  for (auto& loop : loops) loop->join();
+  taker.join();
+  const double serve_seconds =
+      std::chrono::duration<double>(Clock::now() - serve_start).count();
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+  service.stop_refresher();
+
+  std::uint64_t served = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retries = 0;
+  for (const auto& loop : loops) {
+    served += loop->served();
+    lost += loop->lost_replies();
+    retries += loop->reply_retries();
+  }
+  const std::uint64_t answered = ok + degraded;
+  const double degraded_rate =
+      answered == 0 ? 0.0
+                    : static_cast<double>(degraded) /
+                          static_cast<double>(answered);
+
+  report::Table qps({"requests", "wall (s)", "req/s", "ok", "degraded",
+                     "degraded-rate", "deadline", "lost", "torn"});
+  qps.row()
+      .cell(static_cast<long long>(total_requests))
+      .cell(serve_seconds, 3)
+      .cell(static_cast<double>(served) / serve_seconds, 0)
+      .cell(static_cast<long long>(ok))
+      .cell(static_cast<long long>(degraded))
+      .cell(degraded_rate, 4)
+      .cell(static_cast<long long>(deadline))
+      .cell(static_cast<long long>(lost))
+      .cell(static_cast<long long>(torn));
+  std::cout << "end-to-end serving through the faulty transport (" << kLoops
+            << " loops, " << retries << " reply retries):\n";
+  qps.print(std::cout);
+  std::cout << '\n';
+
+  report::Table census({"fault class", "injected"});
+  const fault::FaultClass classes[] = {
+      fault::FaultClass::kDropRequest,    fault::FaultClass::kDelayRequest,
+      fault::FaultClass::kDuplicateRequest, fault::FaultClass::kDropReply,
+      fault::FaultClass::kTransientReply, fault::FaultClass::kIngestStall,
+      fault::FaultClass::kRefresherPause,
+  };
+  for (const fault::FaultClass cls : classes) {
+    census.row()
+        .cell(std::string(fault::to_string(cls)))
+        .cell(static_cast<long long>(injector.count(cls)));
+  }
+  std::cout << "injected-fault census (seed "
+            << standard_schedule().seed << "; same seed, same faults):\n";
+  census.print(std::cout);
+
+  if (torn != 0) {
+    std::cerr << "FAIL: " << torn << " torn reads detected\n";
+    return 1;
+  }
+  return 0;
+}

@@ -133,8 +133,8 @@ UNORDERED_DECL_RE = re.compile(
     r".*?>\s*(?:&\s*)?(\w+)\s*(?:[;={(,)]|$)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([^)]+)\)")
 
-DEFAULT_DIRS = ("src/exp", "src/online", "src/report", "src/serve", "src/sim",
-                "src/stats", "src/traces", "tools")
+DEFAULT_DIRS = ("src/exp", "src/fault", "src/online", "src/report",
+                "src/serve", "src/sim", "src/stats", "src/traces", "tools")
 EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
 
 

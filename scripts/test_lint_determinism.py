@@ -122,7 +122,7 @@ class RealTree(unittest.TestCase):
         # The DES core, online layer, and serving layer feed every
         # trajectory and every published snapshot; they must stay inside
         # the default scan, not just the reporting modules.
-        for module in ("src/sim", "src/online", "src/serve"):
+        for module in ("src/sim", "src/online", "src/serve", "src/fault"):
             self.assertIn(module, lint_determinism.DEFAULT_DIRS)
 
     def test_list_rules_matches_table(self):

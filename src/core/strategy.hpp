@@ -45,4 +45,20 @@ enum class StrategyKind {
   return "unknown";
 }
 
+/// Inverse of to_string: true and sets `out` on a known name, false
+/// otherwise (callers own the error policy — the advisor recovery loader
+/// treats an unknown name as a corrupt dump).
+[[nodiscard]] constexpr bool strategy_kind_from_string(std::string_view name,
+                                                      StrategyKind& out) {
+  for (const StrategyKind kind :
+       {StrategyKind::kSingleResubmission, StrategyKind::kMultipleSubmission,
+        StrategyKind::kDelayedResubmission}) {
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace gridsub::core

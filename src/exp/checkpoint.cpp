@@ -162,8 +162,8 @@ void append_checkpoint_cell(std::ostream& os, const CellResult& cell) {
 CheckpointWriter::CheckpointWriter(const std::string& path,
                                    const CampaignAxes& axes,
                                    const CampaignShard& shard,
-                                   const Resume& resume)
-    : path_(path) {
+                                   const Resume& resume, IoFaultHook io_fault)
+    : path_(path), io_fault_(std::move(io_fault)) {
   // Repair any kill artifact before appending: cut a dropped partial
   // tail — or a clipped first header write, where valid_bytes is 0 — so
   // it cannot glue onto new content and garble the file.
@@ -200,6 +200,29 @@ void CheckpointWriter::append(const CellResult& cell) {
   append_checkpoint_cell(line, cell);
   const std::string text = line.str();
   const core::MutexLock lock(mu_);
+  if (io_fault_) {
+    const std::uint64_t index = writes_;
+    const IoFaultDirective d = io_fault_(index, text.size());
+    if (d.kind != IoFaultDirective::Kind::kNone) {
+      ++writes_;
+      const std::size_t keep = std::min(d.keep_bytes, text.size());
+      if (d.kind != IoFaultDirective::Kind::kEnospc && keep > 0) {
+        out_.write(text.data(), static_cast<std::streamsize>(keep));
+        out_.flush();
+      }
+      const char* what =
+          d.kind == IoFaultDirective::Kind::kEnospc
+              ? "injected ENOSPC (no bytes written) appending cell "
+              : (d.kind == IoFaultDirective::Kind::kShortWrite
+                     ? "injected short write appending cell "
+                     : "injected kill (torn tail) appending cell ");
+      throw CheckpointError(what + std::to_string(cell.context.flat) +
+                            " to checkpoint '" + path_ + "' (kept " +
+                            std::to_string(keep) + " of " +
+                            std::to_string(text.size()) + " bytes)");
+    }
+  }
+  ++writes_;
   out_ << text;
   out_.flush();
   if (!out_) {

@@ -27,7 +27,9 @@
 // wrong results.
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -106,6 +108,34 @@ struct CheckpointHeader {
 void write_checkpoint_header(std::ostream& os, const CampaignAxes& axes,
                              const CampaignShard& shard = {});
 
+/// What an injected I/O fault does to one checkpoint append. Returned by
+/// an IoFaultHook (the seam src/fault threads under CheckpointWriter so
+/// the chaos suite can exercise every disk-failure class the crash model
+/// promises to survive):
+///
+///   kShortWrite  keep_bytes of the record reach the file, then append()
+///                throws CheckpointError — the disk filled (or errored)
+///                mid-record and the writer noticed.
+///   kEnospc      nothing reaches the file; append() throws — the write
+///                failed before any byte landed.
+///   kTornTail    keep_bytes reach the file and append() throws — but
+///                this models a *kill*, not a reported error: the caller
+///                simulating the crash abandons the writer, and the next
+///                run's resume path must truncate the torn tail away.
+struct IoFaultDirective {
+  enum class Kind { kNone, kShortWrite, kEnospc, kTornTail };
+  Kind kind = Kind::kNone;
+  /// Record-prefix bytes that reach the file (kShortWrite / kTornTail).
+  std::size_t keep_bytes = 0;
+};
+
+/// Consulted once per append() with the 0-based write index and the
+/// serialized record size. Pure decisions only — the fault framework's
+/// determinism contract needs the same directive for the same index.
+using IoFaultHook =
+    std::function<IoFaultDirective(std::uint64_t write_index,
+                                   std::size_t payload_bytes)>;
+
 /// Thread-safe appender for one shard's checkpoint file — the write side
 /// of the crash model documented above, shared by every campaign worker.
 ///
@@ -133,23 +163,27 @@ class CheckpointWriter {
 
   /// Opens `path` for appending after repairing the tail per `resume`.
   /// Throws CheckpointError when the file cannot be truncated or opened,
-  /// or the header cannot be written.
+  /// or the header cannot be written. `io_fault` (tests only) injects
+  /// disk-failure behaviour per append; see IoFaultDirective.
   CheckpointWriter(const std::string& path, const CampaignAxes& axes,
-                   const CampaignShard& shard, const Resume& resume);
+                   const CampaignShard& shard, const Resume& resume,
+                   IoFaultHook io_fault = {});
 
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
   /// Appends one cell record and flushes it. Thread-safe. Throws
-  /// CheckpointError on write failure (ENOSPC/EIO): the run must fail
-  /// loudly instead of silently completing with nothing persisted —
-  /// crash-safety is the whole point of the file.
+  /// CheckpointError on write failure (ENOSPC/EIO, real or injected): the
+  /// run must fail loudly instead of silently completing with nothing
+  /// persisted — crash-safety is the whole point of the file.
   void append(const CellResult& cell) GRIDSUB_EXCLUDES(mu_);
 
  private:
   std::string path_;
   core::Mutex mu_;
   std::ofstream out_ GRIDSUB_GUARDED_BY(mu_);
+  IoFaultHook io_fault_;
+  std::uint64_t writes_ GRIDSUB_GUARDED_BY(mu_) = 0;
 };
 
 /// Appends one completed cell as a single newline-terminated record.

@@ -24,7 +24,7 @@
 namespace gridsub::exp::detail {
 
 struct JsonValue {
-  enum class Kind { kObject, kArray, kString, kNumber, kNull };
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
   Kind kind = Kind::kNull;
   std::vector<std::pair<std::string, JsonValue>> object;
   std::vector<JsonValue> array;
@@ -32,6 +32,7 @@ struct JsonValue {
   double number = 0.0;          // every number, parsed as double
   std::uint64_t integer = 0;    // exact value when is_integer
   bool is_integer = false;
+  bool boolean = false;         // value when kind == kBool
 };
 
 class JsonParser {
@@ -54,8 +55,12 @@ class JsonParser {
   }
 
   void skip_ws() {
+    // Newlines included: the advisor recovery dump (serve/advisor.hpp)
+    // is pretty-printed JSON, unlike the one-record-per-line checkpoint
+    // format (whose line splitting happens before this parser runs).
     while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
       ++pos_;
     }
   }
@@ -79,6 +84,8 @@ class JsonParser {
       case '[': return array();
       case '"': return string_value();
       case 'n': return null_value();
+      case 't':
+      case 'f': return bool_value();
       default: return number();
     }
   }
@@ -165,6 +172,21 @@ class JsonParser {
     }
   }
 
+  [[nodiscard]] JsonValue bool_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return v;
+    }
+    fail("bad literal");
+  }
+
   [[nodiscard]] JsonValue null_value() {
     if (text_.substr(pos_, 4) != "null") fail("bad literal");
     pos_ += 4;
@@ -233,6 +255,28 @@ class JsonParser {
                           "\" is not an unsigned integer");
   }
   return v.integer;
+}
+
+[[nodiscard]] inline double get_number(const JsonValue& obj,
+                                       const std::string& key,
+                                       const std::string& origin) {
+  const JsonValue& v = get_key(obj, key, origin);
+  // null is the writer's spelling for non-finite doubles (json_util.hpp).
+  if (v.kind != JsonValue::Kind::kNumber &&
+      v.kind != JsonValue::Kind::kNull) {
+    throw CheckpointError(origin + ": key \"" + key + "\" is not a number");
+  }
+  return v.number;
+}
+
+[[nodiscard]] inline bool get_bool(const JsonValue& obj,
+                                   const std::string& key,
+                                   const std::string& origin) {
+  const JsonValue& v = get_key(obj, key, origin);
+  if (v.kind != JsonValue::Kind::kBool) {
+    throw CheckpointError(origin + ": key \"" + key + "\" is not a boolean");
+  }
+  return v.boolean;
 }
 
 [[nodiscard]] inline std::vector<std::string> get_string_array(

@@ -1,0 +1,108 @@
+#include "fault/fault_schedule.hpp"
+
+#include <algorithm>
+
+namespace gridsub::fault {
+
+namespace {
+
+// Distinct tags keep the decision streams of different fault classes
+// independent even when their identity domains overlap (request-path and
+// reply-path faults both key on the request id).
+constexpr std::uint64_t kTagRequest = 0x7265717561736b31ULL;
+constexpr std::uint64_t kTagReply = 0x7265706c79666c74ULL;
+constexpr std::uint64_t kTagIngest = 0x696e676573747374ULL;
+constexpr std::uint64_t kTagRefresher = 0x7265667265736872ULL;
+constexpr std::uint64_t kTagIo = 0x696f6661756c7473ULL;
+constexpr std::uint64_t kTagIoKeep = 0x696f6b6565706273ULL;
+
+[[nodiscard]] bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultScheduleConfig::validate() const {
+  return in_unit(drop_request) && in_unit(delay_request) &&
+         in_unit(duplicate_request) && in_unit(drop_reply) &&
+         in_unit(transient_reply) && in_unit(ingest_stall) &&
+         in_unit(refresher_pause) && in_unit(io_short_write) &&
+         in_unit(io_enospc) && in_unit(io_torn_tail) &&
+         drop_request + delay_request + duplicate_request <= 1.0 &&
+         drop_reply + transient_reply <= 1.0 &&
+         io_short_write + io_enospc + io_torn_tail <= 1.0 && delay_ops > 0 &&
+         transient_attempts > 0;
+}
+
+FaultSchedule::FaultSchedule(const FaultScheduleConfig& config)
+    : config_(config) {}
+
+std::uint64_t FaultSchedule::mix(std::uint64_t tag, std::uint64_t id) const {
+  // splitmix64-style finalizer over (seed, tag, id). Own arithmetic, not
+  // std::rand / <random>: the decision must be a portable pure function.
+  std::uint64_t x = config_.seed ^ (tag * 0x9e3779b97f4a7c15ULL);
+  x += id * 0xbf58476d1ce4e5b9ULL + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double FaultSchedule::unit(std::uint64_t tag, std::uint64_t id) const {
+  return static_cast<double>(mix(tag, id) >> 11) * 0x1.0p-53;
+}
+
+RequestFault FaultSchedule::request_fault(std::uint64_t request_id) const {
+  // One roll against cumulative thresholds: at most one fault per id.
+  const double u = unit(kTagRequest, request_id);
+  if (u < config_.drop_request) return RequestFault::kDrop;
+  if (u < config_.drop_request + config_.delay_request) {
+    return RequestFault::kDelay;
+  }
+  if (u < config_.drop_request + config_.delay_request +
+              config_.duplicate_request) {
+    return RequestFault::kDuplicate;
+  }
+  return RequestFault::kNone;
+}
+
+ReplyFault FaultSchedule::reply_fault(std::uint64_t request_id) const {
+  const double u = unit(kTagReply, request_id);
+  if (u < config_.drop_reply) return ReplyFault::kDrop;
+  if (u < config_.drop_reply + config_.transient_reply) {
+    return ReplyFault::kTransient;
+  }
+  return ReplyFault::kNone;
+}
+
+bool FaultSchedule::ingest_stall(std::uint64_t job_index) const {
+  return unit(kTagIngest, job_index) < config_.ingest_stall;
+}
+
+bool FaultSchedule::refresher_pause(std::uint64_t generation) const {
+  return unit(kTagRefresher, generation) < config_.refresher_pause;
+}
+
+exp::IoFaultDirective FaultSchedule::io_fault(std::uint64_t write_index,
+                                              std::size_t payload_bytes) const {
+  exp::IoFaultDirective d;
+  const double u = unit(kTagIo, write_index);
+  if (u < config_.io_short_write) {
+    d.kind = exp::IoFaultDirective::Kind::kShortWrite;
+  } else if (u < config_.io_short_write + config_.io_enospc) {
+    d.kind = exp::IoFaultDirective::Kind::kEnospc;
+    return d;
+  } else if (u < config_.io_short_write + config_.io_enospc +
+                     config_.io_torn_tail) {
+    d.kind = exp::IoFaultDirective::Kind::kTornTail;
+  } else {
+    return d;
+  }
+  // Keep a strict prefix: at least one byte lands, the terminating
+  // newline never does, so the artifact is exactly the clipped final
+  // line the checkpoint crash model promises to repair.
+  const std::size_t span = payload_bytes > 1 ? payload_bytes - 1 : 1;
+  d.keep_bytes = 1 + static_cast<std::size_t>(mix(kTagIoKeep, write_index) %
+                                              static_cast<std::uint64_t>(span));
+  d.keep_bytes = std::min(d.keep_bytes, payload_bytes);
+  return d;
+}
+
+}  // namespace gridsub::fault

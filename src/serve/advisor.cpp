@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "exp/json_parse.hpp"
 #include "exp/json_util.hpp"
 
 namespace gridsub::serve {
@@ -170,6 +175,9 @@ void AdvisorService::ingest_one(const AdvisorKey& key, double latency,
 std::uint64_t AdvisorService::rebuild_and_swap() {
   if (pending_ == 0) return generation_;
   const std::uint64_t next_gen = generation_ + 1;
+  // Chaos seam: a deterministic pause keyed on the generation about to be
+  // built (src/fault installs it; default none).
+  if (config_.refresh_fault) config_.refresh_fault(next_gen);
   auto snap = std::make_unique<AdvisorSnapshot>();
   snap->generation = next_gen;
   snap->observations = observations_;
@@ -187,7 +195,9 @@ std::uint64_t AdvisorService::rebuild_and_swap() {
     AdvisorEntry e;
     e.key = key;
     e.observations = state.observations;
-    e.refits = state.planner.refits();
+    // warm_refits is 0 unless warm-started: counters stay monotone
+    // across a crash-restart.
+    e.refits = state.warm_refits + state.planner.refits();
     e.drift_statistic = state.planner.drift_statistic();
     e.outlier_ratio = state.planner.window_outlier_ratio();
     Advice a;
@@ -203,6 +213,20 @@ std::uint64_t AdvisorService::rebuild_and_swap() {
       a.b = c.b;
       a.expectation = c.expectation;
       a.delta_cost = c.delta_cost;
+    } else if (state.warm) {
+      // Recovered entry whose restarted planner is not ready yet: keep
+      // serving the pre-crash payload rather than regressing to the
+      // fallback (the recovery contract, docs/robustness.md).
+      a.ready = state.warm_advice.ready;
+      a.drifted = state.warm_advice.drifted;
+      a.kind = state.warm_advice.kind;
+      a.t0 = state.warm_advice.t0;
+      a.t_inf = state.warm_advice.t_inf;
+      a.b = state.warm_advice.b;
+      a.expectation = state.warm_advice.expectation;
+      a.delta_cost = state.warm_advice.delta_cost;
+      e.drift_statistic = state.warm_drift_statistic;
+      e.outlier_ratio = state.warm_outlier_ratio;
     } else {
       // Not ready: the documented fallback, stamped with this entry's
       // generation so the torn-read canary still binds it to one build.
@@ -323,15 +347,43 @@ Advice AdvisorService::Reader::advise(const AdvisorKey& key) const {
     snap = check;
   }
   const AdvisorEntry* entry = snap->find(key);
-  Advice advice = entry != nullptr ? entry->advice : snap->fallback;
+  bool degraded = false;
+  Advice advice;
+  if (entry != nullptr) {
+    const std::uint64_t bound = service_->config_.staleness_bound;
+    if (bound != 0 && entry->advice.ready &&
+        snap->generation - entry->advice.entry_generation > bound) {
+      // Staleness bound exceeded: the fitted recommendation is too many
+      // refreshes old to trust, so serve the documented degraded
+      // fallback instead (the fallback is writer-stamped, so the torn-
+      // read canary still holds on this path).
+      advice = snap->fallback;
+      degraded = true;
+    } else {
+      advice = entry->advice;
+    }
+  } else {
+    advice = snap->fallback;
+  }
   advice.generation = snap->generation;
+  advice.degraded = degraded;
   slot_->pinned.store(nullptr, std::memory_order_release);
+  slot_->lookups.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) slot_->degraded.fetch_add(1, std::memory_order_relaxed);
   return advice;
 }
 
 // --------------------------------------------------------------------------
 // Introspection
 // --------------------------------------------------------------------------
+
+void AdvisorService::sum_lookup_counters(std::uint64_t& lookups,
+                                         std::uint64_t& degraded) const {
+  for (const HazardSlot& slot : slots_) {
+    lookups += slot.lookups.load(std::memory_order_relaxed);
+    degraded += slot.degraded.load(std::memory_order_relaxed);
+  }
+}
 
 AdvisorStats AdvisorService::stats() const {
   const core::MutexLock lock(mu_);
@@ -344,13 +396,199 @@ AdvisorStats AdvisorService::stats() const {
   s.staleness_max = staleness_max_;
   s.keys = keys_.size();
   s.readers = readers_.load(std::memory_order_seq_cst);
+  sum_lookup_counters(s.lookups, s.degraded);
   return s;
+}
+
+AdvisorHealth AdvisorService::health() const {
+  const core::MutexLock lock(mu_);
+  AdvisorHealth h;
+  h.generation = generation_;
+  h.backlog = pending_;
+  // Swaps happen under mu_, so the loaded pointer stays live while held.
+  const AdvisorSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  h.keys = snap->entries.size();
+  for (const AdvisorEntry& e : snap->entries) {
+    h.max_entry_age =
+        std::max(h.max_entry_age, snap->generation - e.advice.entry_generation);
+  }
+  sum_lookup_counters(h.lookups, h.degraded);
+  if (h.lookups > 0) {
+    h.degraded_rate =
+        static_cast<double>(h.degraded) / static_cast<double>(h.lookups);
+  }
+  return h;
 }
 
 void AdvisorService::dump_json(std::ostream& os) const {
   const core::MutexLock lock(mu_);
   // Swaps happen under mu_, so the loaded pointer stays live while held.
   current_.load(std::memory_order_seq_cst)->write_json(os);
+}
+
+// --------------------------------------------------------------------------
+// Crash-restart recovery
+// --------------------------------------------------------------------------
+
+void AdvisorService::save_snapshot_file(const std::string& path) const {
+  // Serialize first (dump_json takes the lock), then write temp + rename
+  // so a crash mid-save can never leave a half-written recovery file.
+  std::ostringstream text;
+  dump_json(text);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text.str();
+    out.flush();
+    if (!out) {
+      throw RecoveryError("failed to write recovery snapshot '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw RecoveryError("failed to publish recovery snapshot '" + path +
+                        "': " + ec.message());
+  }
+}
+
+void AdvisorService::warm_start(std::istream& is, const std::string& origin) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) {
+    throw RecoveryError(origin + ": unreadable recovery dump");
+  }
+  const std::string text = buf.str();
+
+  // Parse and extract with the strict JSON-subset machinery; its errors
+  // (CheckpointError) are re-thrown as RecoveryError so callers can tell
+  // a bad recovery dump from a bad campaign checkpoint.
+  struct ParsedEntry {
+    AdvisorKey key;
+    Advice advice;  // payload fields only
+    std::uint64_t observations = 0;
+    std::uint64_t refits = 0;
+    double drift_statistic = 0.0;
+    double outlier_ratio = 0.0;
+  };
+  double fallback_t_inf = 0.0;
+  std::uint64_t total_observations = 0;
+  std::vector<ParsedEntry> parsed;
+  try {
+    using exp::detail::get_bool;
+    using exp::detail::get_key;
+    using exp::detail::get_number;
+    using exp::detail::get_string;
+    using exp::detail::get_uint;
+    using exp::detail::JsonParser;
+    using exp::detail::JsonValue;
+    const JsonValue root = JsonParser(text, origin).parse();
+    const JsonValue& advisor = get_key(root, "advisor", origin);
+    fallback_t_inf = get_number(advisor, "fallback_t_inf", origin);
+    total_observations = get_uint(advisor, "observations", origin);
+    const JsonValue& keys = get_key(advisor, "keys", origin);
+    if (keys.kind != JsonValue::Kind::kArray) {
+      throw RecoveryError(origin + ": key \"keys\" is not an array");
+    }
+    parsed.reserve(keys.array.size());
+    for (const JsonValue& k : keys.array) {
+      if (k.kind != JsonValue::Kind::kObject) {
+        throw RecoveryError(origin + ": non-object entry in \"keys\"");
+      }
+      ParsedEntry e;
+      e.key.vo = get_string(k, "vo", origin);
+      e.key.site = get_string(k, "site", origin);
+      e.key.user_class = get_string(k, "user_class", origin);
+      e.advice.ready = get_bool(k, "ready", origin);
+      e.advice.drifted = get_bool(k, "drifted", origin);
+      e.observations = get_uint(k, "observations", origin);
+      e.refits = get_uint(k, "refits", origin);
+      e.drift_statistic = get_number(k, "drift_statistic", origin);
+      e.outlier_ratio = get_number(k, "outlier_ratio", origin);
+      if (!core::strategy_kind_from_string(get_string(k, "kind", origin),
+                                           e.advice.kind)) {
+        throw RecoveryError(origin + ": unknown strategy kind");
+      }
+      e.advice.t0 = get_number(k, "t0", origin);
+      e.advice.t_inf = get_number(k, "t_inf", origin);
+      e.advice.b = static_cast<int>(get_uint(k, "b", origin));
+      e.advice.expectation = get_number(k, "expectation", origin);
+      e.advice.delta_cost = get_number(k, "delta_cost", origin);
+      if (!parsed.empty() && !(parsed.back().key < e.key)) {
+        throw RecoveryError(origin + ": entries not strictly key-sorted");
+      }
+      parsed.push_back(std::move(e));
+    }
+  } catch (const exp::CheckpointError& err) {
+    throw RecoveryError(err.what());
+  }
+  if (fallback_t_inf != config_.fallback_t_inf) {
+    throw RecoveryError(origin +
+                        ": fallback_t_inf disagrees with this service's "
+                        "config — refusing to mix recovery state");
+  }
+
+  // Publish as generation 1 on a virgin service: the recovered entries
+  // must be the *only* state, or determinism of the re-dump is gone.
+  const std::uint64_t gen = 1;
+  auto snap = std::make_unique<AdvisorSnapshot>();
+  snap->generation = gen;
+  snap->observations = total_observations;
+  snap->fallback.t_inf = config_.fallback_t_inf;
+  snap->fallback.generation = gen;
+  snap->fallback.stamp = advice_stamp(snap->fallback);
+  snap->entries.reserve(parsed.size());
+
+  const AdvisorSnapshot* raw = snap.get();
+  {
+    const core::MutexLock lock(mu_);
+    if (generation_ != 0 || !keys_.empty() || observations_ != 0 ||
+        pending_ != 0) {
+      throw RecoveryError(origin +
+                          ": warm_start on a service that already holds "
+                          "state (must be virgin)");
+    }
+    for (ParsedEntry& p : parsed) {
+      AdvisorEntry e;
+      e.key = p.key;
+      e.observations = p.observations;
+      e.refits = p.refits;
+      e.drift_statistic = p.drift_statistic;
+      e.outlier_ratio = p.outlier_ratio;
+      Advice a = p.advice;
+      a.generation = gen;
+      a.entry_generation = gen;
+      a.stamp = advice_stamp(a);
+      e.advice = a;
+
+      KeyState state(config_.planner);
+      state.observations = p.observations;
+      state.changed_generation = gen;
+      state.dirty = false;
+      state.warm = true;
+      state.warm_advice = p.advice;
+      state.warm_refits = p.refits;
+      state.warm_drift_statistic = p.drift_statistic;
+      state.warm_outlier_ratio = p.outlier_ratio;
+      keys_.emplace(std::move(p.key), std::move(state));
+
+      snap->entries.push_back(std::move(e));
+    }
+    observations_ = total_observations;
+    generation_ = gen;
+    ++swaps_;
+    owned_.push_back(std::move(snap));
+    current_.store(raw, std::memory_order_seq_cst);
+    reclaim_retired();
+  }
+}
+
+void AdvisorService::warm_start_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw RecoveryError("cannot open recovery snapshot '" + path + "'");
+  }
+  warm_start(in, path);
 }
 
 }  // namespace gridsub::serve

@@ -39,9 +39,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,12 +77,29 @@ struct AdvisorConfig {
   /// values batch more ingestion per snapshot swap (higher staleness,
   /// fewer rebuilds).
   std::size_t refresh_pending = 64;
+  /// Staleness bound, in generations (0 = unbounded). When the published
+  /// snapshot is `staleness_bound` generations newer than the refresh
+  /// that last rebuilt a key's entry, advise() stops serving that entry
+  /// and returns the documented degraded fallback instead (Advice
+  /// .degraded = true, counted in stats().degraded): bounded-staleness
+  /// advice beats confidently serving a recommendation the stream has
+  /// long since moved past. See docs/robustness.md.
+  std::uint64_t staleness_bound = 0;
+  /// Chaos seam: called (with mu_ held) just before each refresh builds
+  /// generation `g`. src/fault installs a deterministic pause here; the
+  /// default does nothing. Must not call back into the service.
+  std::function<void(std::uint64_t)> refresh_fault;
 };
 
 /// What advise() hands back: a plain copyable value, no allocation.
 struct Advice {
   bool ready = false;    ///< false = fallback (key unknown or not ready)
   bool drifted = false;  ///< planner drift flag at snapshot build time
+  /// True when a *ready* entry was refused for exceeding the staleness
+  /// bound and this is the degraded fallback instead. Serving metadata
+  /// like `generation` — set reader-side, excluded from the stamp and
+  /// from write_json().
+  bool degraded = false;
   core::StrategyKind kind = core::StrategyKind::kSingleResubmission;
   double t0 = 0.0;
   double t_inf = 0.0;
@@ -140,6 +159,34 @@ struct AdvisorStats {
   std::uint64_t staleness_max = 0;     ///< max pending any swap folded
   std::size_t keys = 0;                ///< keyed planners registered
   std::size_t readers = 0;             ///< live Reader registrations
+  std::uint64_t lookups = 0;   ///< advise() calls across all Readers ever
+  std::uint64_t degraded = 0;  ///< lookups answered with the degraded
+                               ///< fallback (staleness bound exceeded)
+};
+
+/// Liveness-oriented view for operators and the chaos wall: is the
+/// service keeping up, and how much of the traffic is degraded?
+struct AdvisorHealth {
+  std::uint64_t generation = 0;   ///< latest published generation
+  std::uint64_t backlog = 0;      ///< observations ingested, not yet folded
+  std::size_t keys = 0;           ///< entries in the published snapshot
+  /// Generations since the stalest published entry was rebuilt (0 when
+  /// the snapshot is empty). Under the staleness bound this is also the
+  /// worst age advise() will serve as fresh.
+  std::uint64_t max_entry_age = 0;
+  std::uint64_t lookups = 0;   ///< as in AdvisorStats
+  std::uint64_t degraded = 0;  ///< as in AdvisorStats
+  /// degraded / lookups (0 when no lookups yet).
+  double degraded_rate = 0.0;
+};
+
+/// Raised by warm_start(): corrupt, truncated, or mismatched recovery
+/// dump, or a service that already holds state. Distinct from
+/// exp::CheckpointError — recovery failures must be catchable without
+/// conflating them with campaign checkpoint problems.
+class RecoveryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class AdvisorService {
@@ -220,9 +267,37 @@ class AdvisorService {
 
   [[nodiscard]] AdvisorStats stats() const GRIDSUB_EXCLUDES(mu_);
 
+  /// Health snapshot: backlog, entry age, degraded-rate. Locked path.
+  [[nodiscard]] AdvisorHealth health() const GRIDSUB_EXCLUDES(mu_);
+
   /// Writes the current snapshot's deterministic payload
   /// (AdvisorSnapshot::write_json) under the service lock.
   void dump_json(std::ostream& os) const GRIDSUB_EXCLUDES(mu_);
+
+  // --- crash-restart recovery (docs/robustness.md) -----------------------
+  //
+  // save_snapshot_file() persists the published snapshot as the same
+  // deterministic write_json() payload the tests already byte-compare;
+  // warm_start() rebuilds a *fresh* service from such a dump. The
+  // round-trip invariant the chaos wall pins: dump → warm_start → dump
+  // is byte-identical (to_chars/from_chars round-trip doubles exactly).
+  // Warm entries keep serving the recovered payload until their planner
+  // has re-accumulated enough post-restart observations to be ready.
+
+  /// Atomically persists dump_json() to `path` (write temp + rename).
+  /// Throws RecoveryError when the file cannot be written.
+  void save_snapshot_file(const std::string& path) const GRIDSUB_EXCLUDES(mu_);
+
+  /// Loads a recovery dump into this service, which must be virgin (no
+  /// ingests, no refreshes, no prior warm start). Publishes the recovered
+  /// state as generation 1. Throws RecoveryError on corrupt input, a
+  /// fallback_t_inf that disagrees with this service's config, unsorted
+  /// or duplicate keys, or a non-virgin service.
+  void warm_start(std::istream& is, const std::string& origin)
+      GRIDSUB_EXCLUDES(mu_);
+
+  /// warm_start() from a file; `path` names the origin in errors.
+  void warm_start_file(const std::string& path) GRIDSUB_EXCLUDES(mu_);
 
  private:
   friend class Reader;
@@ -238,12 +313,24 @@ class AdvisorService {
     /// entry as entry_generation).
     std::uint64_t changed_generation = 0;
     bool dirty = true;
+    /// Recovered pre-crash state (warm_start). Served by rebuilds until
+    /// the restarted planner is ready again; the diagnostics carry over
+    /// so counters stay monotone across the crash.
+    bool warm = false;
+    Advice warm_advice;  ///< payload fields only; stamped at rebuild
+    std::uint64_t warm_refits = 0;
+    double warm_drift_statistic = 0.0;
+    double warm_outlier_ratio = 0.0;
   };
 
   /// One hazard cell per Reader, padded so readers never false-share.
+  /// The counters are cumulative across Reader registrations that reuse
+  /// the slot; stats()/health() sum them for service-lifetime totals.
   struct alignas(64) HazardSlot {
     std::atomic<const AdvisorSnapshot*> pinned{nullptr};
     std::atomic<bool> claimed{false};
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> degraded{0};
   };
 
   void ingest_one(const AdvisorKey& key, double latency, bool completed)
@@ -251,6 +338,9 @@ class AdvisorService {
   std::uint64_t rebuild_and_swap() GRIDSUB_REQUIRES(mu_);
   void reclaim_retired() GRIDSUB_REQUIRES(mu_);
   void refresher_main() GRIDSUB_EXCLUDES(mu_);
+  /// Sums the per-slot lookup/degraded counters (lock-free reads).
+  void sum_lookup_counters(std::uint64_t& lookups,
+                           std::uint64_t& degraded) const;
 
   AdvisorConfig config_;
 

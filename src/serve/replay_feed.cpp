@@ -85,6 +85,7 @@ ReplayFeedReport replay_feed(AdvisorService& service,
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const AdvisorKey key = key_for_job(jobs[i], i, config);
       if (shard_for_key(key, config) != shard) continue;
+      if (config.fault_hook) config.fault_hook(shard, i);
       const double latency = jobs[i].runtime * config.latency_scale;
       if (latency >= 0.0 && latency < timeout) {
         service.ingest(key, latency);

@@ -28,6 +28,7 @@
 // suite pins this at 1/2/8).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ struct ReplayFeedConfig {
   /// Probe latency = job runtime * latency_scale (then clipped to the
   /// planner timeout as an outlier).
   double latency_scale = 1.0;
+  /// Chaos seam: called by the owning worker before each ingest, with
+  /// the shard and the job's *global* workload index. src/fault installs
+  /// a deterministic stall keyed on the job index (not the shard, so the
+  /// stalled set is thread-count invariant); the default does nothing.
+  std::function<void(std::size_t shard, std::uint64_t job_index)> fault_hook;
 };
 
 struct ReplayFeedReport {

@@ -1,5 +1,6 @@
 #include "serve/request_loop.hpp"
 
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -38,24 +39,45 @@ bool InProcessTransport::next(AdvisorRequest& out) {
   if (requests_.empty()) return false;  // closed and drained
   out = std::move(requests_.front());
   requests_.pop_front();
+  ++in_flight_;  // the shutdown drain waits for this request's outcome
   space_free_.notify_one();
   return true;
 }
 
-void InProcessTransport::reply(const AdvisorResponse& response) {
+bool InProcessTransport::reply(const AdvisorResponse& response) {
   {
     const core::MutexLock lock(mu_);
     responses_.push_back(response);
+    if (in_flight_ > 0) --in_flight_;
   }
   response_ready_.notify_one();
+  return true;  // the in-process queue never fails delivery
+}
+
+void InProcessTransport::abandon() {
+  {
+    const core::MutexLock lock(mu_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  // An abandoned request may be the last thing a drain was waiting on.
+  response_ready_.notify_all();
+}
+
+void InProcessTransport::expect_duplicate() {
+  const core::MutexLock lock(mu_);
+  ++in_flight_;
 }
 
 bool InProcessTransport::take_reply(AdvisorResponse& out) {
   const core::MutexLock lock(mu_);
   response_ready_.wait(mu_, [this]() GRIDSUB_REQUIRES(mu_) {
-    return closed_ || !responses_.empty();
+    // After close(), keep blocking while accepted requests are still
+    // queued or in flight: their replies are coming. Returning false
+    // earlier would lose them (the pre-PR-10 bug).
+    return !responses_.empty() ||
+           (closed_ && requests_.empty() && in_flight_ == 0);
   });
-  if (responses_.empty()) return false;  // closed and drained
+  if (responses_.empty()) return false;  // closed and fully drained
   out = responses_.front();
   responses_.pop_front();
   return true;
@@ -75,8 +97,16 @@ void InProcessTransport::close() {
 // RequestLoop
 // --------------------------------------------------------------------------
 
-RequestLoop::RequestLoop(AdvisorService& service, Transport& transport)
-    : service_(service), transport_(transport), reader_(service) {}
+RequestLoop::RequestLoop(AdvisorService& service, Transport& transport,
+                         RequestLoopOptions options)
+    : service_(service),
+      transport_(transport),
+      options_(options),
+      reader_(service) {
+  if (options_.max_reply_attempts == 0) {
+    throw std::invalid_argument("RequestLoop: max_reply_attempts == 0");
+  }
+}
 
 RequestLoop::~RequestLoop() { join(); }
 
@@ -86,16 +116,52 @@ void RequestLoop::run() {
     AdvisorResponse response;
     response.id = request.id;
     response.type = request.type;
-    switch (request.type) {
-      case AdvisorRequest::Type::kAdvise:
-        response.advice = reader_.advise(request.key);
-        break;
-      case AdvisorRequest::Type::kStats:
-        response.stats = service_.stats();
-        break;
+    if (request.deadline != 0 && request.queue_age > request.deadline) {
+      // Fail fast: stale work is refused before any lookup happens.
+      response.status = ResponseStatus::kDeadlineExceeded;
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        switch (request.type) {
+          case AdvisorRequest::Type::kAdvise:
+            response.advice = reader_.advise(request.key);
+            if (response.advice.degraded) {
+              response.status = ResponseStatus::kDegraded;
+              degraded_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case AdvisorRequest::Type::kStats:
+            response.stats = service_.stats();
+            break;
+        }
+      } catch (const std::exception&) {
+        // The client gets a typed failure, never a vanished request.
+        response.status = ResponseStatus::kInternalError;
+        internal_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    transport_.reply(response);
-    served_.fetch_add(1, std::memory_order_relaxed);
+    bool delivered = false;
+    for (std::uint32_t attempt = 0; attempt < options_.max_reply_attempts;
+         ++attempt) {
+      if (attempt > 0) {
+        // Deterministic backoff: double the yield count each retry. No
+        // clock — logical pacing only, so fault runs replay exactly.
+        reply_retries_.fetch_add(1, std::memory_order_relaxed);
+        for (std::uint32_t spin = 0; spin < (1u << attempt); ++spin) {
+          std::this_thread::yield();
+        }
+      }
+      if (transport_.reply(response)) {
+        delivered = true;
+        break;
+      }
+    }
+    if (delivered) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      lost_replies_.fetch_add(1, std::memory_order_relaxed);
+      transport_.abandon();
+    }
   }
 }
 

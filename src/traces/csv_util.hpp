@@ -5,10 +5,50 @@
 // and workload formats cannot drift in what they accept.
 
 #include <charconv>
+#include <cstddef>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace gridsub::traces::detail {
+
+/// Hard cap on one input line. Real SWF/CSV lines are well under 1 KiB;
+/// a line this long means a corrupt or hostile file, and refusing it
+/// keeps a reader from buffering an arbitrarily large "line" into memory
+/// (e.g. a multi-GB file with no newlines).
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/// Strict full-token double parse: the whole trimmed token must be
+/// consumed (a leading '+' is tolerated for hand-written files). False
+/// on empty, trailing garbage ("12.5abc"), or out-of-range input — the
+/// silent-acceptance cases std::stod lets through.
+[[nodiscard]] inline bool csv_parse_double(std::string_view token,
+                                           double& out) {
+  const auto first = token.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return false;
+  const auto last = token.find_last_not_of(" \t\r");
+  token = token.substr(first, last - first + 1);
+  if (!token.empty() && token.front() == '+') token.remove_prefix(1);
+  if (token.empty()) return false;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto r = std::from_chars(begin, end, out);
+  return r.ec == std::errc() && r.ptr == end;
+}
+
+/// Strict full-token int parse; same contract as csv_parse_double.
+[[nodiscard]] inline bool csv_parse_int(std::string_view token, int& out) {
+  const auto first = token.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return false;
+  const auto last = token.find_last_not_of(" \t\r");
+  token = token.substr(first, last - first + 1);
+  if (!token.empty() && token.front() == '+') token.remove_prefix(1);
+  if (token.empty()) return false;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto r = std::from_chars(begin, end, out);
+  return r.ec == std::errc() && r.ptr == end;
+}
 
 /// Writes a double in shortest round-trip std::to_chars form:
 /// locale-independent, byte-identical for equal values, and re-parses to

@@ -1,11 +1,12 @@
 #include "traces/swf.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "traces/csv_util.hpp"
+#include "traces/trace_error.hpp"
 
 namespace gridsub::traces {
 
@@ -41,6 +42,10 @@ void for_each_swf_job(std::istream& is, const SwfReadOptions& options,
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    if (line.size() > detail::kMaxLineBytes) {
+      throw TraceFormatError("swf: oversized line " + std::to_string(line_no) +
+                             " (" + std::to_string(line.size()) + " bytes)");
+    }
     detail::strip_cr(line);
     // Comments may appear anywhere, possibly indented.
     const auto first = line.find_first_not_of(" \t");
@@ -53,18 +58,29 @@ void for_each_swf_job(std::istream& is, const SwfReadOptions& options,
       break;
     }
     ++local.lines;
-    std::istringstream ls(line);
+    // Tokenize on whitespace and parse each field strictly: a garbled
+    // token ("3x41") is a typed error, not a silently shortened record
+    // (istream extraction would stop at the first bad byte).
     std::vector<double> fields;
-    double v = 0.0;
-    while (ls >> v) fields.push_back(v);
-    if (!ls.eof()) {
-      throw std::runtime_error("swf: non-numeric field on line " +
+    const std::string_view view = line;
+    std::size_t pos = 0;
+    while (pos < view.size()) {
+      const auto start = view.find_first_not_of(" \t", pos);
+      if (start == std::string_view::npos) break;
+      auto stop = view.find_first_of(" \t", start);
+      if (stop == std::string_view::npos) stop = view.size();
+      double v = 0.0;
+      if (!detail::csv_parse_double(view.substr(start, stop - start), v)) {
+        throw TraceFormatError("swf: non-numeric field on line " +
                                std::to_string(line_no));
+      }
+      fields.push_back(v);
+      pos = stop;
     }
     if (fields.size() <= kFieldRuntime) {
-      throw std::runtime_error("swf: truncated line " +
-                               std::to_string(line_no) + " (" +
-                               std::to_string(fields.size()) + " fields)");
+      throw TraceFormatError("swf: truncated line " +
+                             std::to_string(line_no) + " (" +
+                             std::to_string(fields.size()) + " fields)");
     }
     const double submit = fields[kFieldSubmit];
     double runtime = fields[kFieldRuntime];
@@ -106,7 +122,9 @@ Workload read_swf(std::istream& is, const std::string& name,
 Workload read_swf_file(const std::string& path, const SwfReadOptions& options,
                        SwfReadReport* report) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("read_swf_file: cannot open " + path);
+  if (!is) {
+    throw std::runtime_error("read_swf_file: cannot open " + path);
+  }
   const auto slash = path.find_last_of('/');
   const std::string name =
       slash == std::string::npos ? path : path.substr(slash + 1);

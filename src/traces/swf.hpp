@@ -15,8 +15,10 @@
 // missing-value convention (a missing runtime falls back to the requested
 // time; jobs with no usable runtime or a negative submit time are
 // dropped and counted, not fatal). Structurally malformed data lines
-// (fewer than 4 fields, non-numeric values) throw std::runtime_error with
-// the offending line number.
+// (fewer than 4 fields, non-numeric or garbled values, lines past the
+// size cap) throw TraceFormatError (trace_error.hpp) with the offending
+// line number — corruption is a typed error, never a silently shortened
+// record.
 
 #include <cstddef>
 #include <functional>

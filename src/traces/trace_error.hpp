@@ -1,0 +1,20 @@
+#pragma once
+
+// Typed error for malformed trace/workload input.
+
+#include <stdexcept>
+
+namespace gridsub::traces {
+
+/// Raised by the SWF / workload-CSV / probe-trace readers on malformed,
+/// truncated, or oversized input: garbage where a number belongs, a
+/// record cut off mid-line, a line past the size cap. Derives
+/// std::runtime_error so pre-existing call sites that catch the base
+/// keep working; new code should catch this type to distinguish corrupt
+/// input from I/O failures.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace gridsub::traces

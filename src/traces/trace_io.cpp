@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "traces/csv_util.hpp"
+#include "traces/trace_error.hpp"
 
 namespace gridsub::traces {
 
@@ -29,7 +30,7 @@ ProbeStatus parse_status(const std::string& s) {
   if (s == "completed") return ProbeStatus::kCompleted;
   if (s == "outlier") return ProbeStatus::kOutlier;
   if (s == "fault") return ProbeStatus::kFault;
-  throw std::runtime_error("trace csv: unknown status '" + s + "'");
+  throw TraceFormatError("trace csv: unknown status '" + s + "'");
 }
 
 }  // namespace
@@ -62,8 +63,15 @@ Trace read_csv(std::istream& is) {
   double timeout = 10000.0;
   std::string line;
   bool header_seen = false;
+  std::size_t line_no = 0;
   std::vector<ProbeRecord> records;
   while (std::getline(is, line)) {
+    ++line_no;
+    if (line.size() > detail::kMaxLineBytes) {
+      throw TraceFormatError("trace csv: oversized line " +
+                             std::to_string(line_no) + " (" +
+                             std::to_string(line.size()) + " bytes)");
+    }
     strip_cr(line);
     if (line.empty()) continue;
     if (line[0] == '#') {
@@ -72,14 +80,16 @@ Trace read_csv(std::istream& is) {
         if (key == "name") {
           name = value;
         } else if (key == "timeout") {
-          timeout = std::stod(value);
+          if (!detail::csv_parse_double(value, timeout)) {
+            throw TraceFormatError("trace csv: bad timeout '" + value + "'");
+          }
         }
       }
       continue;
     }
     if (!header_seen) {
       if (line.rfind("submit_time", 0) != 0) {
-        throw std::runtime_error("trace csv: missing header line");
+        throw TraceFormatError("trace csv: missing header line");
       }
       header_seen = true;
       continue;
@@ -89,11 +99,15 @@ Trace read_csv(std::istream& is) {
     if (!std::getline(ls, submit_str, ',') ||
         !std::getline(ls, latency_str, ',') ||
         !std::getline(ls, status_str)) {
-      throw std::runtime_error("trace csv: malformed line '" + line + "'");
+      throw TraceFormatError("trace csv: malformed line " +
+                             std::to_string(line_no) + ": '" + line + "'");
     }
     ProbeRecord r;
-    r.submit_time = std::stod(submit_str);
-    r.latency = std::stod(latency_str);
+    if (!detail::csv_parse_double(submit_str, r.submit_time) ||
+        !detail::csv_parse_double(latency_str, r.latency)) {
+      throw TraceFormatError("trace csv: unparseable line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
     r.status = parse_status(trim(status_str));
     records.push_back(r);
   }

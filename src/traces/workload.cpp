@@ -7,11 +7,11 @@
 #include <stdexcept>
 
 #include "traces/csv_util.hpp"
+#include "traces/trace_error.hpp"
 
 namespace gridsub::traces {
 
 using detail::strip_cr;
-using detail::trim;
 
 void Workload::sort_by_arrival() {
   std::stable_sort(jobs_.begin(), jobs_.end(),
@@ -130,6 +130,11 @@ Workload read_workload_csv(std::istream& is) {
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    if (line.size() > detail::kMaxLineBytes) {
+      throw TraceFormatError("workload csv: oversized line " +
+                             std::to_string(line_no) + " (" +
+                             std::to_string(line.size()) + " bytes)");
+    }
     strip_cr(line);
     if (line.empty()) continue;
     if (line[0] == '#') {
@@ -141,7 +146,7 @@ Workload read_workload_csv(std::istream& is) {
     }
     if (!header_seen) {
       if (line.rfind("arrival_time", 0) != 0) {
-        throw std::runtime_error("workload csv: missing header line");
+        throw TraceFormatError("workload csv: missing header line");
       }
       header_seen = true;
       continue;
@@ -151,16 +156,26 @@ Workload read_workload_csv(std::istream& is) {
     if (!std::getline(ls, arrival_str, ',') ||
         !std::getline(ls, runtime_str, ',') ||
         !std::getline(ls, user_str, ',') || !std::getline(ls, group_str)) {
-      throw std::runtime_error("workload csv: malformed line " +
-                               std::to_string(line_no) + ": '" + line + "'");
+      // Covers mid-record EOF too: a file cut off inside a row arrives
+      // here as a line with too few fields.
+      throw TraceFormatError("workload csv: malformed line " +
+                             std::to_string(line_no) + ": '" + line + "'");
     }
-    try {
-      w.add_job(std::stod(arrival_str), std::stod(runtime_str),
-                std::stoi(trim(user_str)), std::stoi(trim(group_str)));
-    } catch (const std::exception&) {
-      throw std::runtime_error("workload csv: unparseable line " +
-                               std::to_string(line_no) + ": '" + line + "'");
+    // Strict full-token parses: std::stod/stoi silently accepted garbage
+    // suffixes ("12.5abc" -> 12.5), turning corruption into plausible
+    // but wrong replay data.
+    double arrival = 0.0;
+    double runtime = 0.0;
+    int user = 0;
+    int group = 0;
+    if (!detail::csv_parse_double(arrival_str, arrival) ||
+        !detail::csv_parse_double(runtime_str, runtime) ||
+        !detail::csv_parse_int(user_str, user) ||
+        !detail::csv_parse_int(group_str, group)) {
+      throw TraceFormatError("workload csv: unparseable line " +
+                             std::to_string(line_no) + ": '" + line + "'");
     }
+    w.add_job(arrival, runtime, user, group);
   }
   w.sort_by_arrival();
   return w;

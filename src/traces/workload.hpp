@@ -89,7 +89,8 @@ class Workload {
 /// Repo workload CSV: `# name=<name>` metadata, an
 /// `arrival_time,runtime,user,group` header line, one row per job.
 /// The reader tolerates CRLF line endings, comment lines, and surrounding
-/// whitespace; malformed rows throw std::runtime_error.
+/// whitespace; malformed, truncated, or oversized rows throw
+/// TraceFormatError (trace_error.hpp).
 void write_workload_csv(std::ostream& os, const Workload& w);
 void write_workload_csv_file(const std::string& path, const Workload& w);
 Workload read_workload_csv(std::istream& is);

@@ -1,0 +1,399 @@
+// Fault-injection mechanics, seam by seam: FaultyTransport's
+// drop/delay/duplicate/reply faults keep the in-process transport's
+// shutdown drain exact; RequestLoop's deadline, retry, and error
+// taxonomy respond as documented; CheckpointWriter survives all three
+// injected disk-failure classes with its crash model intact; and the
+// InProcessTransport close-while-in-flight contract (the pre-PR-10
+// lost-replies bug) stays pinned.
+
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/checkpoint.hpp"
+#include "serve/advisor.hpp"
+#include "serve/request_loop.hpp"
+
+namespace gridsub::fault {
+namespace {
+
+using serve::AdvisorRequest;
+using serve::AdvisorResponse;
+using serve::AdvisorService;
+using serve::InProcessTransport;
+using serve::RequestLoop;
+using serve::ResponseStatus;
+
+/// One-class schedule at rate 1: every request suffers exactly `set`.
+FaultScheduleConfig only(double FaultScheduleConfig::* rate) {
+  FaultScheduleConfig c;
+  c.seed = 5;
+  c.*rate = 1.0;
+  return c;
+}
+
+struct LoopRun {
+  std::vector<AdvisorResponse> responses;
+  std::uint64_t served = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t reply_retries = 0;
+  std::uint64_t lost_replies = 0;
+};
+
+/// Posts `requests` through a FaultyTransport into one RequestLoop and
+/// drains every reply. The close happens after all posts, so delayed
+/// requests flush during the drain.
+LoopRun run_loop(const FaultScheduleConfig& schedule,
+                 std::vector<AdvisorRequest> requests,
+                 serve::RequestLoopOptions options = {}) {
+  AdvisorService service;  // default config; every key answers fallback
+  FaultInjector injector(schedule);
+  InProcessTransport inner(256);
+  FaultyTransport faulty(inner, injector);
+  RequestLoop loop(service, faulty, options);
+  loop.start();
+
+  LoopRun out;
+  std::thread taker([&] {
+    AdvisorResponse r;
+    while (inner.take_reply(r)) out.responses.push_back(r);
+  });
+  for (AdvisorRequest& r : requests) inner.post(r);
+  inner.close();
+  loop.join();
+  taker.join();
+  out.served = loop.served();
+  out.degraded = loop.degraded();
+  out.deadline_expired = loop.deadline_expired();
+  out.reply_retries = loop.reply_retries();
+  out.lost_replies = loop.lost_replies();
+  return out;
+}
+
+std::vector<AdvisorRequest> advise_requests(std::size_t n) {
+  std::vector<AdvisorRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].id = i;
+    reqs[i].key = {"vo0", "lpc", "uc0"};
+  }
+  return reqs;
+}
+
+TEST(FaultyTransport, DroppedRequestsStillDrainCleanly) {
+  const LoopRun run =
+      run_loop(only(&FaultScheduleConfig::drop_request), advise_requests(32));
+  // Every request vanished before the loop; the drain still terminates
+  // and nobody hangs — abandon() settled the in-flight accounting.
+  EXPECT_TRUE(run.responses.empty());
+  EXPECT_EQ(run.served, 0u);
+}
+
+TEST(FaultyTransport, DuplicatedRequestsAreAnsweredTwice) {
+  const LoopRun run = run_loop(only(&FaultScheduleConfig::duplicate_request),
+                               advise_requests(16));
+  EXPECT_EQ(run.responses.size(), 32u);
+  std::map<std::uint64_t, int> per_id;
+  for (const AdvisorResponse& r : run.responses) ++per_id[r.id];
+  for (const auto& [id, count] : per_id) EXPECT_EQ(count, 2) << "id " << id;
+}
+
+TEST(FaultyTransport, DelayedRequestsArriveAgedButNeverLost) {
+  FaultScheduleConfig c = only(&FaultScheduleConfig::delay_request);
+  c.delay_ops = 3;
+  const LoopRun run = run_loop(c, advise_requests(16));
+  ASSERT_EQ(run.responses.size(), 16u);
+  for (const AdvisorResponse& r : run.responses) {
+    EXPECT_EQ(r.status, ResponseStatus::kOk);
+  }
+}
+
+TEST(FaultyTransport, DelayPlusDeadlineYieldsDeadlineExceeded) {
+  FaultScheduleConfig c = only(&FaultScheduleConfig::delay_request);
+  c.delay_ops = 4;
+  std::vector<AdvisorRequest> reqs = advise_requests(16);
+  for (AdvisorRequest& r : reqs) r.deadline = 2;  // < delay_ops
+  const LoopRun run = run_loop(c, std::move(reqs));
+  ASSERT_EQ(run.responses.size(), 16u);
+  for (const AdvisorResponse& r : run.responses) {
+    EXPECT_EQ(r.status, ResponseStatus::kDeadlineExceeded);
+  }
+  EXPECT_EQ(run.deadline_expired, 16u);
+}
+
+TEST(FaultyTransport, TransientReplyFailuresAreRetriedToDelivery) {
+  FaultScheduleConfig c = only(&FaultScheduleConfig::transient_reply);
+  c.transient_attempts = 2;
+  serve::RequestLoopOptions options;
+  options.max_reply_attempts = 4;  // > transient_attempts: always recovers
+  const LoopRun run = run_loop(c, advise_requests(16), options);
+  EXPECT_EQ(run.responses.size(), 16u);
+  EXPECT_EQ(run.served, 16u);
+  EXPECT_EQ(run.lost_replies, 0u);
+  EXPECT_EQ(run.reply_retries, 32u);  // two failures per reply
+}
+
+TEST(FaultyTransport, ExhaustedRetriesAbandonWithoutHanging) {
+  FaultScheduleConfig c = only(&FaultScheduleConfig::transient_reply);
+  c.transient_attempts = 10;
+  serve::RequestLoopOptions options;
+  options.max_reply_attempts = 2;  // < transient_attempts: always loses
+  const LoopRun run = run_loop(c, advise_requests(8), options);
+  EXPECT_TRUE(run.responses.empty());
+  EXPECT_EQ(run.lost_replies, 8u);
+}
+
+TEST(FaultyTransport, DroppedRepliesSettleTheDrain) {
+  const LoopRun run =
+      run_loop(only(&FaultScheduleConfig::drop_reply), advise_requests(24));
+  EXPECT_TRUE(run.responses.empty());
+  EXPECT_EQ(run.served, 24u);  // the loop believes it delivered
+  EXPECT_EQ(run.lost_replies, 0u);
+}
+
+TEST(FaultyTransport, EventLogRecordsEveryInjection) {
+  FaultScheduleConfig c;
+  c.seed = 21;
+  c.drop_request = 0.25;
+  c.duplicate_request = 0.25;
+  FaultInjector injector(c);
+  AdvisorService service;
+  InProcessTransport inner(256);
+  FaultyTransport faulty(inner, injector);
+  RequestLoop loop(service, faulty);
+  loop.start();
+  std::thread taker([&] {
+    AdvisorResponse r;
+    while (inner.take_reply(r)) {
+    }
+  });
+  for (const AdvisorRequest& r : advise_requests(64)) inner.post(r);
+  inner.close();
+  loop.join();
+  taker.join();
+
+  const FaultSchedule schedule(c);
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    if (schedule.request_fault(id) == RequestFault::kDrop) ++drops;
+    if (schedule.request_fault(id) == RequestFault::kDuplicate) ++dups;
+  }
+  EXPECT_EQ(injector.count(FaultClass::kDropRequest), drops);
+  EXPECT_EQ(injector.count(FaultClass::kDuplicateRequest), dups);
+  EXPECT_GT(drops + dups, 0u);
+}
+
+// --------------------------------------------------------------------------
+// InProcessTransport shutdown contract
+// --------------------------------------------------------------------------
+
+TEST(InProcessTransportShutdown, CloseWhileInFlightLosesNoReplies) {
+  // The pinned contract: requests already handed to a server via next()
+  // when close() lands must still be answered, and take_reply() must
+  // keep blocking for them instead of reporting "drained".
+  InProcessTransport transport(8);
+  AdvisorRequest a;
+  a.id = 1;
+  AdvisorRequest b;
+  b.id = 2;
+  transport.post(a);
+  transport.post(b);
+
+  AdvisorRequest got;
+  ASSERT_TRUE(transport.next(got));
+  ASSERT_TRUE(transport.next(got));  // both now in flight, none replied
+  transport.close();
+
+  std::vector<std::uint64_t> ids;
+  std::thread taker([&] {
+    AdvisorResponse r;
+    while (transport.take_reply(r)) ids.push_back(r.id);
+  });
+  AdvisorResponse r1;
+  r1.id = 1;
+  AdvisorResponse r2;
+  r2.id = 2;
+  EXPECT_TRUE(transport.reply(r1));
+  EXPECT_TRUE(transport.reply(r2));
+  taker.join();
+  EXPECT_EQ(ids.size(), 2u);  // the old predicate returned false with 0
+}
+
+TEST(InProcessTransportShutdown, AbandonSettlesTheLastInFlightRequest) {
+  InProcessTransport transport(8);
+  AdvisorRequest a;
+  a.id = 7;
+  transport.post(a);
+  AdvisorRequest got;
+  ASSERT_TRUE(transport.next(got));
+  transport.close();
+  std::thread taker([&] {
+    AdvisorResponse r;
+    EXPECT_FALSE(transport.take_reply(r));  // unblocked by abandon below
+  });
+  transport.abandon();
+  taker.join();
+}
+
+TEST(InProcessTransportShutdown, CloseOnIdleTransportDrainsImmediately) {
+  InProcessTransport transport(8);
+  transport.close();
+  AdvisorResponse r;
+  EXPECT_FALSE(transport.take_reply(r));
+  AdvisorRequest q;
+  EXPECT_FALSE(transport.next(q));
+  EXPECT_THROW(transport.post(AdvisorRequest{}), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// CheckpointWriter I/O faults
+// --------------------------------------------------------------------------
+
+exp::CampaignAxes tiny_axes() {
+  exp::CampaignAxes axes;
+  axes.name = "fault-io";
+  axes.scenario_labels = {"s0", "s1"};
+  axes.strategy_labels = {"t0"};
+  axes.replications = 2;
+  axes.root_seed = 9;
+  return axes;
+}
+
+exp::CellMetrics cell_metrics(const exp::CellContext& ctx) {
+  return {{"v", static_cast<double>(ctx.seed % 97) / 3.0}};
+}
+
+std::string temp_path(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "gridsub_test_fault_io";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Appends every cell of tiny_axes() through a writer with `hook`,
+/// restarting the writer through the resume path after each injected
+/// failure — the retry discipline a campaign driver follows. Returns the
+/// final file content.
+std::string write_all_cells_with_faults(const std::string& path,
+                                        const exp::IoFaultHook& hook,
+                                        int max_restarts = 64) {
+  const exp::CampaignAxes axes = tiny_axes();
+  int restarts = 0;
+  std::size_t next_cell = 0;
+  auto make_writer = [&]() {
+    exp::CheckpointWriter::Resume resume;
+    if (std::filesystem::exists(path)) {
+      const exp::CampaignCheckpoint ck = exp::load_checkpoint(path);
+      resume.fresh = false;
+      resume.valid_bytes = ck.valid_bytes;
+      resume.missing_final_newline = ck.missing_final_newline;
+      next_cell = ck.cells.size();
+    }
+    return std::make_unique<exp::CheckpointWriter>(path, axes,
+                                                   exp::CampaignShard{}, resume,
+                                                   hook);
+  };
+  auto writer = make_writer();
+  while (next_cell < axes.cell_count()) {
+    exp::CellResult cell;
+    cell.context = axes.cell(next_cell);
+    cell.metrics = cell_metrics(cell.context);
+    try {
+      writer->append(cell);
+      ++next_cell;
+    } catch (const exp::CheckpointError&) {
+      // Injected failure: reopen through the resume path, which must
+      // truncate any torn tail before the cell is retried.
+      if (++restarts > max_restarts) throw;
+      writer = make_writer();
+    }
+  }
+  return slurp(path);
+}
+
+TEST(CheckpointIoFaults, EveryFailureClassRecoversByteIdentically) {
+  // Reference: an uninterrupted run.
+  const std::string clean_path = temp_path("clean.ckpt");
+  const std::string reference =
+      write_all_cells_with_faults(clean_path, exp::IoFaultHook{});
+
+  FaultScheduleConfig c;
+  c.seed = 31;
+  c.io_short_write = 0.2;
+  c.io_enospc = 0.2;
+  c.io_torn_tail = 0.2;
+  FaultInjector injector(c);
+
+  // A fresh CheckpointWriter restarts its write index at 0, so a fault
+  // scheduled at index 0 would re-fire on every restart and wedge the
+  // retry loop. Key decisions on a monotone append counter instead: each
+  // retried append draws a fresh decision, so the loop always progresses.
+  std::uint64_t append_no = 0;
+  const exp::IoFaultHook base = injector.io_hook();
+  const exp::IoFaultHook hook = [&](std::uint64_t /*write_index*/,
+                                    std::size_t bytes) {
+    return base(append_no++, bytes);
+  };
+
+  const std::string faulty_path = temp_path("faulty.ckpt");
+  const std::string recovered =
+      write_all_cells_with_faults(faulty_path, hook);
+  EXPECT_EQ(recovered, reference);
+  EXPECT_GT(injector.count(FaultClass::kIoShortWrite) +
+                injector.count(FaultClass::kIoEnospc) +
+                injector.count(FaultClass::kIoTornTail),
+            0u);
+}
+
+TEST(CheckpointIoFaults, TornTailLeavesExactlyTheDocumentedArtifact) {
+  const std::string path = temp_path("torn.ckpt");
+  const exp::CampaignAxes axes = tiny_axes();
+  // Deterministic single-fault hook: the second record is torn mid-line.
+  const exp::IoFaultHook hook = [](std::uint64_t index,
+                                   std::size_t bytes) -> exp::IoFaultDirective {
+    exp::IoFaultDirective d;
+    if (index == 1) {
+      d.kind = exp::IoFaultDirective::Kind::kTornTail;
+      d.keep_bytes = bytes / 2;
+    }
+    return d;
+  };
+  exp::CheckpointWriter writer(path, axes, {}, {}, hook);
+  exp::CellResult cell;
+  cell.context = axes.cell(0);
+  cell.metrics = cell_metrics(cell.context);
+  writer.append(cell);
+  cell.context = axes.cell(1);
+  cell.metrics = cell_metrics(cell.context);
+  EXPECT_THROW(writer.append(cell), exp::CheckpointError);
+
+  // The reader sees the torn tail, drops it, and keeps the clean prefix.
+  const exp::CampaignCheckpoint ck = exp::load_checkpoint(path);
+  EXPECT_TRUE(ck.dropped_partial_tail);
+  ASSERT_EQ(ck.cells.size(), 1u);
+  EXPECT_EQ(ck.cells[0].context.flat, 0u);
+}
+
+}  // namespace
+}  // namespace gridsub::fault
